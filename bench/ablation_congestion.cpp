@@ -1,0 +1,116 @@
+// Extension experiment (paper §2): "as any application involving video
+// transmission, our service is best provided using QoS reservation
+// mechanisms. However, if bandwidth is abundant and jitter rarely occurs
+// ... some buffer space and a flow control mechanism can account for
+// jitter periods."
+//
+// We give the client an ADSL-class 4 Mbps downlink and inject competing
+// CBR background traffic. Without reservation the junk steals downlink
+// capacity and the video loses frames; "reserving" capacity (shaping the
+// junk away) or asking for reduced quality (§4.3) restores smoothness.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "net/traffic.hpp"
+#include "vod/service.hpp"
+
+using namespace ftvod;
+using namespace ftvod::vod;
+
+namespace {
+
+struct Outcome {
+  double skip_pct = 0;
+  std::uint64_t starvation = 0;
+  std::uint64_t downlink_drops = 0;
+};
+
+Outcome run(double junk_bps, double capability_fps) {
+  Deployment dep(99);
+  const net::NodeId s0 = dep.add_host("server");
+  const net::NodeId junk_host = dep.add_host("junk-source");
+  // The client sits behind a 4 Mbps last-mile downlink.
+  net::HostConfig adsl;
+  adsl.downlink_bps = 4e6;
+  adsl.downlink_queue_bytes = 64 * 1024;
+  const net::NodeId c0 = dep.network().add_host("client-adsl", adsl);
+  dep.gcs_config().peers.push_back(c0);
+
+  auto movie = mpeg::Movie::synthetic("m", 240.0);
+  dep.start_server(s0).server->add_movie(movie);
+  auto& client = *dep.start_client(c0).client;
+  dep.run_for(sim::sec(2.0));
+
+  std::unique_ptr<net::TrafficGenerator> junk;
+  if (junk_bps > 0) {
+    junk = std::make_unique<net::TrafficGenerator>(
+        dep.scheduler(), dep.network(), junk_host, c0, junk_bps);
+  }
+  client.watch("m", capability_fps);
+  dep.run_for(sim::sec(45.0));
+
+  Outcome out;
+  const BufferCounters& c = client.counters();
+  out.skip_pct = 100.0 * static_cast<double>(c.skipped) /
+                 static_cast<double>(c.displayed + c.skipped + 1);
+  out.starvation = c.starvation_ticks;
+  out.downlink_drops = dep.network().stats(c0).dropped_queue;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Congestion on the client's last mile (QoS discussion, "
+               "§2) ===\n"
+            << "4 Mbps downlink; 1.4 Mbps video; CBR junk competes for the\n"
+            << "downlink. \"reserved\" = junk shaped away (the paper's CBR\n"
+            << "channel); \"reduced quality\" = client asks for 10 fps "
+               "(§4.3).\n\n";
+
+  metrics::Table table({"scenario", "junk Mbps", "video quality",
+                        "skipped %", "starvation", "downlink drops"});
+
+  const Outcome clean = run(0, 0);
+  table.add_row({"reserved (no contention)", "0", "full",
+                 metrics::Table::num(clean.skip_pct, 2),
+                 std::to_string(clean.starvation),
+                 std::to_string(clean.downlink_drops)});
+
+  const Outcome mild = run(1.5e6, 0);
+  table.add_row({"mild contention", "1.5", "full",
+                 metrics::Table::num(mild.skip_pct, 2),
+                 std::to_string(mild.starvation),
+                 std::to_string(mild.downlink_drops)});
+
+  const Outcome heavy = run(3.2e6, 0);
+  table.add_row({"heavy contention", "3.2", "full",
+                 metrics::Table::num(heavy.skip_pct, 2),
+                 std::to_string(heavy.starvation),
+                 std::to_string(heavy.downlink_drops)});
+
+  const Outcome adapted = run(3.2e6, 10.0);
+  table.add_row({"heavy + reduced quality", "3.2", "10 fps",
+                 metrics::Table::num(adapted.skip_pct, 2),
+                 std::to_string(adapted.starvation),
+                 std::to_string(adapted.downlink_drops)});
+
+  table.print(std::cout);
+  std::cout << '\n';
+
+  auto check = [](bool ok, const char* what) {
+    std::cout << (ok ? "  [shape OK]   " : "  [SHAPE FAIL] ") << what << '\n';
+  };
+  check(clean.skip_pct < 1.0 && clean.starvation == 0,
+        "with reserved capacity the stream is clean");
+  check(mild.skip_pct < 2.0,
+        "buffers + flow control absorb mild contention (paper: they "
+        "\"account for jitter periods\")");
+  check(heavy.skip_pct > mild.skip_pct + 1.0 || heavy.starvation > 0,
+        "unreserved heavy contention visibly degrades the video");
+  check(adapted.starvation == 0 &&
+            adapted.skip_pct > 50.0,  // intentional: 2 of 3 frames unsent
+        "reduced quality survives heavy contention smoothly (all I frames, "
+        "no freezes)");
+  return 0;
+}

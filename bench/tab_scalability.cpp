@@ -1,0 +1,131 @@
+// Scalability of the control plane (§1: "in such an environment,
+// scalability and fault tolerance will be key issues"): client count vs
+// placement balance, takeover-storm latency when a loaded server dies, and
+// the per-server control overhead. The data plane scales trivially (each
+// stream is independent); the interesting question is whether the
+// group-communication control plane keeps up.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "vod/service.hpp"
+
+using namespace ftvod;
+using namespace ftvod::vod;
+
+namespace {
+
+struct Outcome {
+  std::size_t max_load = 0;
+  std::size_t min_load = SIZE_MAX;
+  double storm_reassign_s = -1;  // crash -> all orphans adopted
+  std::uint64_t starved_clients = 0;
+  double control_kbps_per_server = 0;
+};
+
+Outcome run(int n_servers, int n_clients) {
+  Deployment dep(7 * n_clients + n_servers);
+  std::vector<net::NodeId> server_hosts;
+  for (int i = 0; i < n_servers; ++i) {
+    server_hosts.push_back(dep.add_host("s" + std::to_string(i)));
+  }
+  std::vector<net::NodeId> client_hosts;
+  for (int i = 0; i < n_clients; ++i) {
+    client_hosts.push_back(dep.add_host("c" + std::to_string(i)));
+  }
+  auto movie = mpeg::Movie::synthetic("m", 300.0);
+  for (net::NodeId h : server_hosts) {
+    dep.start_server(h).server->add_movie(movie);
+  }
+  for (net::NodeId h : client_hosts) dep.start_client(h);
+  dep.run_for(sim::sec(3.0));
+  for (auto& cn : dep.clients()) cn->client->watch("m");
+  dep.run_for(sim::sec(20.0));
+
+  Outcome out;
+  for (auto& sn : dep.servers()) {
+    out.max_load = std::max(out.max_load, sn->server->session_count());
+    out.min_load = std::min(out.min_load, sn->server->session_count());
+  }
+
+  // Takeover storm: kill the most loaded server, time until every client
+  // is served again.
+  VodServer* victim = nullptr;
+  for (auto& sn : dep.servers()) {
+    if (victim == nullptr ||
+        sn->server->session_count() > victim->session_count()) {
+      victim = sn->server.get();
+    }
+  }
+  const std::uint64_t c0 =
+      [&] {
+        std::uint64_t sum = 0;
+        for (auto& sn : dep.servers()) {
+          sum += sn->daemon->socket_stats().bytes_sent;
+        }
+        return sum;
+      }();
+  const sim::Time crash_at = dep.scheduler().now();
+  dep.crash(victim->node());
+  sim::Time done_at = -1;
+  while (dep.scheduler().now() - crash_at < sim::sec(15.0)) {
+    dep.run_for(sim::msec(25));
+    std::size_t served = 0;
+    for (auto& sn : dep.servers()) {
+      if (dep.network().alive(sn->node)) {
+        served += sn->server->session_count();
+      }
+    }
+    if (served == static_cast<std::size_t>(n_clients) && done_at < 0) {
+      done_at = dep.scheduler().now();
+      break;
+    }
+  }
+  out.storm_reassign_s =
+      done_at > 0 ? sim::to_sec(done_at - crash_at) : -1.0;
+
+  dep.run_for(sim::sec(10.0));
+  for (auto& cn : dep.clients()) {
+    if (cn->client->counters().starvation_ticks > 0) ++out.starved_clients;
+  }
+  std::uint64_t c1 = 0;
+  for (auto& sn : dep.servers()) {
+    c1 += sn->daemon->socket_stats().bytes_sent;
+  }
+  const double window_s = sim::to_sec(dep.scheduler().now() - crash_at);
+  out.control_kbps_per_server =
+      static_cast<double>(c1 - c0) * 8.0 / 1000.0 / window_s /
+      std::max(1, n_servers - 1);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Control-plane scalability ===\n"
+            << "N clients on 3 replicas; the most loaded replica is killed;\n"
+            << "time until every orphan is adopted, and whether any client's\n"
+            << "display froze.\n\n";
+
+  metrics::Table table({"clients", "load (min..max)", "reassign all (s)",
+                        "starved clients", "GCS kbit/s per server"});
+  bool all_ok = true;
+  for (int n : {3, 6, 12, 24}) {
+    const Outcome o = run(3, n);
+    table.add_row({std::to_string(n),
+                   std::to_string(o.min_load) + ".." +
+                       std::to_string(o.max_load),
+                   metrics::Table::num(o.storm_reassign_s, 2),
+                   std::to_string(o.starved_clients),
+                   metrics::Table::num(o.control_kbps_per_server, 1)});
+    if (o.max_load - o.min_load > 1 || o.storm_reassign_s < 0 ||
+        o.storm_reassign_s > 2.0 || o.starved_clients > 0) {
+      all_ok = false;
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n'
+            << (all_ok ? "  [shape OK]   " : "  [SHAPE FAIL] ")
+            << "balanced placement, sub-2s takeover storms, no frozen "
+               "displays, modest control traffic\n";
+  return 0;
+}

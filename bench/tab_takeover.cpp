@@ -1,0 +1,132 @@
+// Reproduces the takeover-time analysis of §4.2: the irregularity period is
+// at most the synchronization skew plus the takeover time; the prototype
+// measured ~0.5 s average takeover on a LAN with a 0.5 s sync period, and
+// sized the buffers (2.4 s, low water mark covering ~1.7 s) accordingly.
+//
+// We sweep the failure-detection timeout and measure: takeover time (crash
+// -> first frame from the new server), the irregularity period (last frame
+// from the dead server -> first *new* frame), and the client impact.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "vod/service.hpp"
+
+using namespace ftvod;
+using namespace ftvod::vod;
+
+namespace {
+
+struct Outcome {
+  double takeover_s = -1;     // crash -> takeover decision at the survivor
+  double irregularity_s = -1; // crash -> buffers growing again
+  std::uint64_t skipped = 0;
+  std::uint64_t starvation = 0;
+  bool recovered = false;
+};
+
+Outcome run(sim::Duration suspect_timeout, std::uint64_t seed) {
+  Deployment dep(seed);
+  dep.gcs_config().suspect_timeout = suspect_timeout;
+  const net::NodeId s0 = dep.add_host("s0");
+  const net::NodeId s1 = dep.add_host("s1");
+  const net::NodeId c0 = dep.add_host("c0");
+  auto movie = mpeg::Movie::synthetic("m", 240.0);
+  dep.start_server(s0).server->add_movie(movie);
+  dep.start_server(s1).server->add_movie(movie);
+  auto& client = *dep.start_client(c0).client;
+  dep.run_for(sim::sec(2.0));
+  client.watch("m");
+  dep.run_for(sim::sec(25.0));
+
+  VodServer* victim = nullptr;
+  VodServer* survivor = nullptr;
+  for (auto& sn : dep.servers()) {
+    if (sn->server->serves(client.client_id())) {
+      victim = sn->server.get();
+    } else {
+      survivor = sn->server.get();
+    }
+  }
+  if (victim == nullptr || survivor == nullptr) return {};
+
+  const auto skipped_before = client.counters().skipped;
+  const auto starve_before = client.counters().starvation_ticks;
+  const sim::Time crash_at = dep.scheduler().now();
+  dep.crash(victim->node());
+
+  Outcome out;
+  sim::Time takeover_at = -1;
+  sim::Time refill_at = -1;
+  std::size_t min_total = client.buffers()->total_frames();
+  while (dep.scheduler().now() - crash_at < sim::sec(15.0)) {
+    dep.run_for(sim::msec(20));
+    if (takeover_at < 0 && survivor->serves(client.client_id())) {
+      takeover_at = dep.scheduler().now();
+    }
+    const std::size_t total = client.buffers()->total_frames();
+    if (total < min_total) {
+      min_total = total;
+    } else if (refill_at < 0 && takeover_at > 0 &&
+               total > min_total + 5) {
+      refill_at = dep.scheduler().now();
+    }
+  }
+  out.recovered = takeover_at > 0;
+  out.takeover_s = takeover_at > 0 ? sim::to_sec(takeover_at - crash_at) : -1;
+  out.irregularity_s = refill_at > 0 ? sim::to_sec(refill_at - crash_at) : -1;
+  out.skipped = client.counters().skipped - skipped_before;
+  out.starvation = client.counters().starvation_ticks - starve_before;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Takeover time vs failure-detection timeout (§4.2) ===\n"
+            << "Paper (LAN): takeover ~0.5 s average; irregularity <= sync\n"
+            << "skew (0.5 s) + takeover; buffers sized for ~1.7 s at the\n"
+            << "low water mark. Averages over 3 seeds.\n\n";
+
+  metrics::Table table({"fd timeout (ms)", "takeover (s)",
+                        "irregularity (s)", "skipped", "starvation ticks",
+                        "smooth?"});
+  bool default_ok = false;
+  for (sim::Duration timeout :
+       {sim::msec(200), sim::msec(400), sim::msec(800), sim::msec(1500),
+        sim::msec(2500)}) {
+    double takeover = 0, irregularity = 0;
+    std::uint64_t skipped = 0, starve = 0;
+    int ok = 0;
+    const int kSeeds = 3;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Outcome o = run(timeout, seed * 7 + 1);
+      if (!o.recovered) continue;
+      ++ok;
+      takeover += o.takeover_s;
+      irregularity += std::max(o.irregularity_s, 0.0);
+      skipped += o.skipped;
+      starve += o.starvation;
+    }
+    if (ok == 0) continue;
+    takeover /= ok;
+    irregularity /= ok;
+    const bool smooth = starve == 0;
+    table.add_row({std::to_string(timeout / 1000),
+                   metrics::Table::num(takeover, 2),
+                   metrics::Table::num(irregularity, 2),
+                   std::to_string(skipped / ok),
+                   std::to_string(starve / ok), smooth ? "yes" : "NO"});
+    if (timeout == sim::msec(400) && smooth && takeover < 1.0) {
+      default_ok = true;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nbuffers hold ~2.4 s of video; the low water mark covers "
+               "~1.7 s of\nirregularity — timeouts whose irregularity "
+               "exceeds that starve the display.\n";
+  std::cout << (default_ok ? "  [shape OK]   " : "  [SHAPE FAIL] ")
+            << "default timeout gives a ~0.5 s takeover with a smooth "
+               "display (paper's result)\n";
+  return 0;
+}

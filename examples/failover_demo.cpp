@@ -1,0 +1,80 @@
+// Failover demo — the paper's headline scenario (Figure 1): the server
+// transmitting a movie is killed mid-stream and a replica takes over
+// transparently; the client's display never freezes and it never learns
+// that the provider changed.
+#include <iostream>
+
+#include "vod/service.hpp"
+
+using namespace ftvod;
+using namespace ftvod::vod;
+
+namespace {
+
+void report(const char* when, const VodClient& client) {
+  const BufferCounters& c = client.counters();
+  std::cout << when << ": displayed=" << c.displayed
+            << " skipped=" << c.skipped << " late=" << c.late
+            << " freezes=" << c.starvation_ticks << " occupancy="
+            << static_cast<int>(client.occupancy_fraction() * 100) << "%\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ftvod failover demo: movie replicated on two servers; the\n"
+            << "transmitting one is killed at t=25 s.\n\n";
+
+  Deployment dep(/*seed=*/7);
+  const net::NodeId s0 = dep.add_host("server-0");
+  const net::NodeId s1 = dep.add_host("server-1");
+  const net::NodeId c0 = dep.add_host("client");
+
+  auto movie = mpeg::Movie::synthetic("casablanca", 180.0);
+  dep.start_server(s0).server->add_movie(movie);  // replica 1
+  dep.start_server(s1).server->add_movie(movie);  // replica 2
+  auto& client_node = dep.start_client(c0);
+  dep.run_for(sim::sec(2.0));
+
+  VodClient& client = *client_node.client;
+  client.watch("casablanca");
+  dep.run_for(sim::sec(25.0));
+  report("before crash ", client);
+
+  // Kill whichever server is transmitting. (Silent fail-stop: the heartbeat
+  // failure detector must notice.)
+  for (auto& sn : dep.servers()) {
+    if (sn->server->serves(client.client_id())) {
+      std::cout << "\n*** crashing " << dep.network().host_name(sn->node)
+                << " (currently transmitting) ***\n\n";
+      dep.crash(sn->node);
+      break;
+    }
+  }
+
+  dep.run_for(sim::sec(2.0));
+  report("+2 s         ", client);
+  dep.run_for(sim::sec(10.0));
+  report("+12 s        ", client);
+
+  // Who serves now?
+  for (auto& sn : dep.servers()) {
+    if (sn->server->serves(client.client_id())) {
+      std::cout << "\nclient is now served by "
+                << dep.network().host_name(sn->node) << " (takeovers="
+                << sn->server->stats().takeovers << ")\n";
+    }
+  }
+  std::cout << "session-group membership changes the client observed: "
+            << client.control_stats().session_views
+            << " (but it never saw a server identity)\n";
+
+  const BufferCounters& c = client.counters();
+  std::cout << "\nverdict: " << (c.starvation_ticks == 0
+                                     ? "the display never froze — the crash "
+                                       "was invisible to a human observer"
+                                     : "the display froze briefly")
+            << "\n(duplicate frames from the conservative takeover offset: "
+            << c.late << ")\n";
+  return 0;
+}

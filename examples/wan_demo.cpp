@@ -1,0 +1,62 @@
+// WAN demo (§6.2): the paper also ran the service between the Hebrew
+// University and Tel Aviv University — seven Internet hops, UDP, no QoS
+// reservation. Loss degrades the displayed quality gracefully (skipped
+// frames), jitter is absorbed by the software re-ordering buffer, and
+// failover still works across the wide area.
+#include <iostream>
+
+#include "vod/service.hpp"
+
+using namespace ftvod;
+using namespace ftvod::vod;
+
+int main() {
+  std::cout << "ftvod WAN demo: 7-hop path, ~1% loss, ~12 ms jitter, no QoS "
+               "reservation.\n\n";
+
+  Deployment dep(/*seed=*/3, net::wan_quality(/*loss=*/0.01));
+  const net::NodeId s0 = dep.add_host("server-huji-0");
+  const net::NodeId s1 = dep.add_host("server-huji-1");
+  const net::NodeId c0 = dep.add_host("client-tau");
+
+  auto movie = mpeg::Movie::synthetic("sallah-shabati", 180.0);
+  dep.start_server(s0).server->add_movie(movie);
+  dep.start_server(s1).server->add_movie(movie);
+  auto& client_node = dep.start_client(c0);
+  dep.run_for(sim::sec(3.0));
+
+  VodClient& client = *client_node.client;
+  client.watch("sallah-shabati");
+  dep.run_for(sim::sec(30.0));
+
+  const BufferCounters mid = client.counters();  // copy: we diff later
+  std::cout << "after 30 s of WAN playback:\n"
+            << "  displayed " << mid.displayed << ", skipped " << mid.skipped
+            << " (network loss -> missing frames in the stream)\n"
+            << "  late/re-ordered " << mid.late << ", display freezes "
+            << mid.starvation_ticks << '\n';
+
+  std::cout << "\n*** crashing the transmitting server (failover across "
+               "the WAN) ***\n";
+  for (auto& sn : dep.servers()) {
+    if (sn->server->serves(client.client_id())) {
+      dep.crash(sn->node);
+      break;
+    }
+  }
+  dep.run_for(sim::sec(15.0));
+
+  const BufferCounters& end = client.counters();
+  std::cout << "\nafter failover:\n"
+            << "  displayed " << end.displayed << " (+"
+            << end.displayed - mid.displayed << ")\n"
+            << "  skipped " << end.skipped << ", late " << end.late
+            << ", freezes " << end.starvation_ticks << '\n';
+  const double skip_pct =
+      100.0 * static_cast<double>(end.skipped) /
+      static_cast<double>(end.displayed + end.skipped);
+  std::cout << "  overall skipped-frame rate: " << skip_pct
+            << "% — \"the quality of displayed video is inferior to the "
+               "quality observed on a LAN\", but the service survives\n";
+  return 0;
+}

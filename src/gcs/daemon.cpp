@@ -1,0 +1,401 @@
+#include "gcs/daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace ftvod::gcs {
+
+namespace {
+constexpr std::string_view kLog = "gcs";
+/// Non-member sends use local handle 0, which join() never allocates.
+constexpr std::uint32_t kNonMemberLocal = 0;
+/// Upper bound on ordered messages re-sent per retransmission request.
+constexpr std::size_t kMaxRetransBatch = 2000;
+}  // namespace
+
+// ---------------------------------------------------------------- GroupMember
+
+GroupMember::~GroupMember() {
+  if (daemon_ != nullptr) leave();
+}
+
+void GroupMember::send(util::Bytes payload) {
+  if (daemon_ != nullptr) daemon_->member_send(*this, std::move(payload));
+}
+
+void GroupMember::leave() {
+  if (daemon_ == nullptr) return;
+  daemon_->member_leave(*this);
+  daemon_ = nullptr;
+}
+
+// --------------------------------------------------------------------- Daemon
+
+Daemon::Daemon(sim::Scheduler& sched, net::Network& net, net::NodeId self,
+               GcsConfig cfg)
+    : sched_(&sched),
+      net_(&net),
+      self_(self),
+      cfg_(std::move(cfg)),
+      heartbeat_timer_(sched, cfg_.heartbeat_interval,
+                       [this] { on_heartbeat_timer(); }),
+      fd_timer_(sched, cfg_.fd_check_interval, [this] { on_fd_check(); }),
+      resubmit_timer_(sched, cfg_.resubmit_interval,
+                      [this] { flush_pending_submits(); }),
+      nack_timer_(sched, cfg_.nack_delay, [this] { maybe_nack(); }),
+      propose_retry_timer_(sched),
+      rescue_timer_(sched) {
+  socket_ = net_->bind(self_, cfg_.port,
+                       [this](const net::Endpoint& from,
+                              std::span<const std::byte> data) {
+                         on_datagram(from, data);
+                       });
+  net_->on_crash(self_, [this] { halt(); });
+
+  view_.id = ViewId{1, self_};
+  view_.members = {self_};
+  max_counter_seen_ = 1;
+  accepted_pv_ = view_.id;
+  accepted_pv_from_ = self_;
+  next_submit_expected_[self_] = 1;
+
+  // Stagger heartbeats slightly per node so daemons created at the same
+  // virtual instant do not tick in perfect lockstep.
+  heartbeat_timer_.start(cfg_.heartbeat_interval + sim::usec(self_ * 7));
+  fd_timer_.start(cfg_.fd_check_interval + sim::usec(self_ * 11));
+  resubmit_timer_.start();
+  nack_timer_.start();
+}
+
+Daemon::~Daemon() {
+  for (auto& [group, handles] : local_members_) {
+    for (GroupMember* h : handles) h->daemon_ = nullptr;
+  }
+}
+
+void Daemon::halt() {
+  if (halted_) return;
+  halted_ = true;
+  heartbeat_timer_.stop();
+  fd_timer_.stop();
+  resubmit_timer_.stop();
+  nack_timer_.stop();
+  propose_retry_timer_.cancel();
+  rescue_timer_.cancel();
+  util::log_info(kLog, "daemon n", self_, " halted");
+}
+
+std::unique_ptr<GroupMember> Daemon::join(std::string group,
+                                          GroupCallbacks callbacks) {
+  const GcsEndpoint ep{self_, next_local_id_++};
+  auto handle = std::unique_ptr<GroupMember>(
+      new GroupMember(*this, group, ep, std::move(callbacks)));
+  local_members_[group].push_back(handle.get());
+  submit(wire::PayloadKind::kJoin, group, ep, {});
+  return handle;
+}
+
+void Daemon::send_to_group(const std::string& group, util::Bytes payload) {
+  submit(wire::PayloadKind::kApp, group, GcsEndpoint{self_, kNonMemberLocal},
+         std::move(payload));
+}
+
+std::vector<GcsEndpoint> Daemon::group_members(const std::string& group) const {
+  auto it = group_table_.find(group);
+  if (it == group_table_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void Daemon::member_send(GroupMember& member, util::Bytes payload) {
+  submit(wire::PayloadKind::kApp, member.group_, member.endpoint_,
+         std::move(payload));
+}
+
+void Daemon::member_leave(GroupMember& member) {
+  auto it = local_members_.find(member.group_);
+  if (it != local_members_.end()) {
+    std::erase(it->second, &member);
+    if (it->second.empty()) local_members_.erase(it);
+  }
+  submit(wire::PayloadKind::kLeave, member.group_, member.endpoint_, {});
+}
+
+// ------------------------------------------------------------------- dispatch
+
+void Daemon::on_datagram(const net::Endpoint& from,
+                         std::span<const std::byte> data) {
+  if (halted_) return;
+  const net::NodeId peer = from.node;
+  last_heard_[peer] = sched_->now();
+  suspects_.erase(peer);
+
+  const auto type = wire::peek_type(data);
+  if (!type) return;
+  switch (*type) {
+    case wire::MsgType::kHeartbeat:
+      if (auto m = wire::decode_heartbeat(data)) handle_heartbeat(peer, *m);
+      break;
+    case wire::MsgType::kSubmit:
+      if (auto m = wire::decode_submit(data)) handle_submit(peer, *m);
+      break;
+    case wire::MsgType::kOrdered:
+      if (auto m = wire::decode_ordered(data)) handle_ordered(*m);
+      break;
+    case wire::MsgType::kRetransReq:
+      if (auto m = wire::decode_retrans_req(data))
+        handle_retrans_req(peer, *m);
+      break;
+    case wire::MsgType::kPropose:
+      if (auto m = wire::decode_propose(data)) handle_propose(peer, *m);
+      break;
+    case wire::MsgType::kProposeAck:
+      if (auto m = wire::decode_propose_ack(data))
+        handle_propose_ack(peer, *m);
+      break;
+    case wire::MsgType::kFlushTarget:
+      if (auto m = wire::decode_flush_target(data))
+        handle_flush_target(peer, *m);
+      break;
+    case wire::MsgType::kFlushDone:
+      if (auto m = wire::decode_flush_done(data)) handle_flush_done(peer, *m);
+      break;
+    case wire::MsgType::kInstall:
+      if (auto m = wire::decode_install(data)) handle_install(peer, *m);
+      break;
+  }
+}
+
+void Daemon::send_to(net::NodeId node, const util::Bytes& bytes) {
+  if (halted_ || node == self_) return;
+  socket_->send(net::Endpoint{node, cfg_.port}, bytes);
+}
+
+// ------------------------------------------------- submission & total order
+
+void Daemon::submit(wire::PayloadKind kind, const std::string& group,
+                    GcsEndpoint origin, util::Bytes payload) {
+  if (halted_) return;
+  const std::uint64_t seq = submit_seq_counter_++;
+  wire::Submit m{view_.id, seq, kind, group, origin, payload};
+  // Register as pending *before* handing to the coordinator: when this
+  // daemon is the coordinator itself, ordering and delivery happen
+  // synchronously, and delivery of an own message erases its pending entry.
+  pending_.emplace(seq, PendingSubmit{seq, kind, group, origin,
+                                      std::move(payload)});
+  // Send eagerly when unblocked; the resubmit timer covers losses and
+  // coordinator changes.
+  if (state_ == State::kNormal) {
+    if (view_.id.coord == self_) {
+      handle_submit(self_, m);
+    } else {
+      send_to(view_.id.coord, wire::encode(m));
+    }
+  }
+}
+
+void Daemon::flush_pending_submits() {
+  if (halted_ || state_ != State::kNormal || pending_.empty()) return;
+  // Snapshot first: synchronous self-delivery (when we are the coordinator)
+  // erases entries from pending_ while this runs.
+  std::vector<wire::Submit> snapshot;
+  snapshot.reserve(pending_.size());
+  for (const auto& [seq, p] : pending_) {
+    snapshot.push_back(
+        wire::Submit{view_.id, seq, p.kind, p.group, p.origin, p.payload});
+  }
+  for (wire::Submit& m : snapshot) {
+    if (view_.id.coord == self_) {
+      handle_submit(self_, m);
+    } else {
+      send_to(view_.id.coord, wire::encode(m));
+    }
+  }
+}
+
+void Daemon::handle_submit(net::NodeId from, const wire::Submit& m) {
+  if (state_ != State::kNormal || m.view != view_.id ||
+      view_.id.coord != self_) {
+    return;  // not the coordinator for this message; sender will retry
+  }
+  if (!view_.contains(from)) return;
+  auto exp_it = next_submit_expected_.find(from);
+  if (exp_it == next_submit_expected_.end()) return;
+  if (m.sender_seq < exp_it->second) return;  // duplicate
+  submit_buffer_[from].emplace(m.sender_seq, m);
+  try_order_buffered(from);
+}
+
+void Daemon::try_order_buffered(net::NodeId sender) {
+  // order_message() can re-enter this function via application callbacks
+  // (deliver -> on_message -> send -> submit). Remove each entry and advance
+  // the cursor *before* ordering, and re-find on every iteration, so nested
+  // calls and this loop never touch a stale iterator.
+  while (true) {
+    auto& buf = submit_buffer_[sender];
+    const std::uint64_t exp = next_submit_expected_[sender];
+    auto it = buf.find(exp);
+    if (it == buf.end()) break;
+    const wire::Submit m = std::move(it->second);
+    buf.erase(it);
+    next_submit_expected_[sender] = exp + 1;
+    order_message(m, sender);
+  }
+}
+
+void Daemon::order_message(const wire::Submit& m, net::NodeId sender) {
+  wire::Ordered o;
+  o.view = view_.id;
+  o.gseq = next_order_gseq_++;
+  o.sender = sender;
+  o.sender_seq = m.sender_seq;
+  o.kind = m.kind;
+  o.group = m.group;
+  o.origin = m.origin;
+  o.payload = m.payload;
+  ++stats_.messages_ordered;
+  const util::Bytes bytes = wire::encode(o);
+  for (net::NodeId member : view_.members) {
+    if (member != self_) send_to(member, bytes);
+  }
+  handle_ordered(o);
+}
+
+void Daemon::handle_ordered(const wire::Ordered& m) {
+  if (m.view != view_.id) return;
+  if (m.gseq < next_deliver_gseq_) return;  // duplicate
+  holdback_.emplace(m.gseq, m);
+  deliver_ready();
+}
+
+void Daemon::deliver_ready() {
+  // Application callbacks inside deliver_one() can send messages, which on
+  // the coordinator recurses back into handle_ordered()/deliver_ready().
+  // The guard makes the outermost call the only delivering loop; the
+  // erase-then-deliver order keeps the holdback map safe to mutate from
+  // nested arrivals.
+  if (delivering_) return;
+  delivering_ = true;
+  while (true) {
+    auto it = holdback_.find(next_deliver_gseq_);
+    if (it == holdback_.end()) break;
+    const wire::Ordered m = std::move(it->second);
+    holdback_.erase(it);
+    ++next_deliver_gseq_;
+    deliver_one(m);
+  }
+  delivering_ = false;
+  if (state_ == State::kBlocked && my_flush_target_) check_flush_progress();
+}
+
+void Daemon::deliver_one(const wire::Ordered& m) {
+  retention_.emplace(m.gseq, m);
+  ++stats_.messages_delivered;
+  if (m.sender == self_) pending_.erase(m.sender_seq);
+
+  switch (m.kind) {
+    case wire::PayloadKind::kJoin: {
+      const bool changed = group_table_[m.group].insert(m.origin).second;
+      if (changed) emit_group_view(m.group);
+      break;
+    }
+    case wire::PayloadKind::kLeave: {
+      auto it = group_table_.find(m.group);
+      if (it == group_table_.end()) break;
+      const bool changed = it->second.erase(m.origin) > 0;
+      if (it->second.empty()) group_table_.erase(it);
+      if (changed) emit_group_view(m.group);
+      break;
+    }
+    case wire::PayloadKind::kApp: {
+      auto it = local_members_.find(m.group);
+      if (it == local_members_.end()) break;
+      // Copy: callbacks may join/leave reentrantly.
+      const std::vector<GroupMember*> handles = it->second;
+      for (GroupMember* h : handles) {
+        if (h->callbacks_.on_message) {
+          h->callbacks_.on_message(m.origin, m.payload);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Daemon::emit_group_view(const std::string& group) {
+  GroupView gv;
+  gv.group = group;
+  gv.daemon_view_counter = view_.id.counter;
+  gv.change_seq = ++group_change_seq_[group];
+  if (auto it = group_table_.find(group); it != group_table_.end()) {
+    gv.members.assign(it->second.begin(), it->second.end());
+  }
+  auto it = local_members_.find(group);
+  if (it == local_members_.end()) return;
+  const std::vector<GroupMember*> handles = it->second;
+  for (GroupMember* h : handles) {
+    h->last_view_ = gv;
+    if (h->callbacks_.on_view) h->callbacks_.on_view(gv);
+  }
+}
+
+std::vector<wire::GroupReg> Daemon::local_regs_snapshot() const {
+  std::vector<wire::GroupReg> regs;
+  for (const auto& [group, handles] : local_members_) {
+    for (const GroupMember* h : handles) {
+      regs.push_back(wire::GroupReg{group, h->endpoint_});
+    }
+  }
+  return regs;
+}
+
+// ------------------------------------------------------------ retransmission
+
+void Daemon::maybe_nack() {
+  if (halted_) return;
+  const bool flushing = state_ == State::kBlocked && my_flush_target_;
+
+  std::uint64_t want_upto = 0;
+  if (!holdback_.empty()) {
+    want_upto = holdback_.rbegin()->first;
+  }
+  if (flushing) {
+    for (const auto& e : my_flush_target_->entries) {
+      if (e.old_view == view_.id) want_upto = std::max(want_upto, e.target);
+    }
+  }
+  if (want_upto < next_deliver_gseq_) return;  // nothing missing
+
+  net::NodeId holder = view_.id.coord;
+  if (flushing) {
+    for (const auto& e : my_flush_target_->entries) {
+      if (e.old_view == view_.id) holder = e.holder;
+    }
+  }
+  if (holder == self_ || holder == net::kInvalidNode) return;
+  wire::RetransReq req{view_.id, next_deliver_gseq_, want_upto};
+  send_to(holder, wire::encode(req));
+}
+
+void Daemon::handle_retrans_req(net::NodeId from, const wire::RetransReq& m) {
+  if (m.view != view_.id) return;
+  std::size_t sent = 0;
+  for (auto it = retention_.lower_bound(m.from_gseq);
+       it != retention_.end() && it->first <= m.to_gseq &&
+       sent < kMaxRetransBatch;
+       ++it, ++sent) {
+    send_to(from, wire::encode(it->second));
+    ++stats_.retransmissions;
+  }
+}
+
+void Daemon::trim_retention(std::uint64_t safe) {
+  retention_.erase(retention_.begin(), retention_.upper_bound(safe));
+}
+
+std::uint64_t Daemon::first_pending_seq() const {
+  return pending_.empty() ? submit_seq_counter_ : pending_.begin()->first;
+}
+
+}  // namespace ftvod::gcs

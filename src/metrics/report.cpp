@@ -1,0 +1,117 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ftvod::metrics {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+         << cell << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_csv(std::ostream& os, const TimeSeries& series) {
+  os << "t_seconds," << series.name() << '\n';
+  for (const Sample& s : series.samples()) {
+    os << sim::to_sec(s.t) << ',' << s.value << '\n';
+  }
+}
+
+void print_ascii_chart(std::ostream& os, const TimeSeries& series, int width,
+                       int height) {
+  const auto& samples = series.samples();
+  os << "--- " << series.name() << " ---\n";
+  if (samples.empty()) {
+    os << "(no samples)\n";
+    return;
+  }
+  double vmin = samples.front().value;
+  double vmax = vmin;
+  for (const Sample& s : samples) {
+    vmin = std::min(vmin, s.value);
+    vmax = std::max(vmax, s.value);
+  }
+  if (vmax == vmin) vmax = vmin + 1.0;
+  const sim::Time tmin = samples.front().t;
+  const sim::Time tmax = std::max(samples.back().t, tmin + 1);
+
+  // Column value = last sample falling into that time bucket.
+  std::vector<double> cols(static_cast<std::size_t>(width),
+                           std::nan(""));
+  for (const Sample& s : samples) {
+    auto col = static_cast<std::size_t>(
+        static_cast<double>(s.t - tmin) / static_cast<double>(tmax - tmin) *
+        (width - 1));
+    col = std::min(col, cols.size() - 1);
+    cols[col] = s.value;
+  }
+  // Carry forward to fill gaps.
+  double prev = samples.front().value;
+  for (double& c : cols) {
+    if (std::isnan(c)) {
+      c = prev;
+    } else {
+      prev = c;
+    }
+  }
+
+  for (int row = height - 1; row >= 0; --row) {
+    const double lo = vmin + (vmax - vmin) * row / height;
+    const double hi = vmin + (vmax - vmin) * (row + 1) / height;
+    std::ostringstream label;
+    label << std::setw(10) << std::fixed << std::setprecision(1) << hi;
+    os << label.str() << " |";
+    for (double c : cols) {
+      os << (c >= lo ? (c < hi ? '*' : '|') : ' ');
+    }
+    os << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(width, '-') << '\n';
+  std::ostringstream axis;
+  axis << std::string(11, ' ') << ' ' << sim::to_sec(tmin) << "s";
+  const std::string right = Table::num(sim::to_sec(tmax), 1) + "s";
+  std::string line = axis.str();
+  const std::size_t target = 12 + width - right.size();
+  if (line.size() < target) line += std::string(target - line.size(), ' ');
+  line += right;
+  os << line << '\n';
+}
+
+}  // namespace ftvod::metrics

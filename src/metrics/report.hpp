@@ -1,0 +1,37 @@
+// Console rendering for the benchmark harnesses: aligned tables, CSV dumps
+// and ASCII charts that reproduce the paper's figures as printable series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/series.hpp"
+
+namespace ftvod::metrics {
+
+/// Fixed-column table: add_row aligns cells under headers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Emits "t_seconds,value" lines.
+void print_csv(std::ostream& os, const TimeSeries& series);
+
+/// Renders the series as a fixed-size ASCII chart (value vs time), the way
+/// the paper's figures plot cumulative counters and buffer occupancy.
+void print_ascii_chart(std::ostream& os, const TimeSeries& series, int width = 78,
+                       int height = 16);
+
+}  // namespace ftvod::metrics

@@ -1,0 +1,84 @@
+// Time series and summary statistics for the evaluation harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ftvod::metrics {
+
+struct Sample {
+  sim::Time t = 0;
+  double value = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void append(sim::Time t, double value) { samples_.push_back({t, value}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double last() const {
+    return samples_.empty() ? 0.0 : samples_.back().value;
+  }
+
+  /// Samples in the half-open window [from, to).
+  [[nodiscard]] std::vector<Sample> window(sim::Time from, sim::Time to) const {
+    std::vector<Sample> out;
+    for (const Sample& s : samples_) {
+      if (s.t >= from && s.t < to) out.push_back(s);
+    }
+    return out;
+  }
+
+  [[nodiscard]] Summary summary() const { return summarize(samples_); }
+
+  static Summary summarize(const std::vector<Sample>& samples) {
+    Summary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    std::vector<double> v;
+    v.reserve(samples.size());
+    for (const Sample& x : samples) v.push_back(x.value);
+    std::sort(v.begin(), v.end());
+    s.min = v.front();
+    s.max = v.back();
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    s.mean = sum / static_cast<double>(v.size());
+    double sq = 0.0;
+    for (double x : v) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(v.size()));
+    auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(v.size() - 1) + 0.5);
+      return v[std::min(idx, v.size() - 1)];
+    };
+    s.p50 = pct(0.50);
+    s.p99 = pct(0.99);
+    return s;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ftvod::metrics

@@ -1,0 +1,42 @@
+// Movie catalog: the set of titles a VoD server holds. The paper assumes a
+// separate replication mechanism for the video material itself; here adding
+// a movie to a server's catalog models that its bits are present locally.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpeg/movie.hpp"
+
+namespace ftvod::mpeg {
+
+class Catalog {
+ public:
+  void add(std::shared_ptr<const Movie> movie) {
+    movies_[movie->name()] = std::move(movie);
+  }
+  void remove(const std::string& name) { movies_.erase(name); }
+
+  [[nodiscard]] std::shared_ptr<const Movie> find(
+      const std::string& name) const {
+    auto it = movies_.find(name);
+    return it == movies_.end() ? nullptr : it->second;
+  }
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return movies_.contains(name);
+  }
+  [[nodiscard]] std::vector<std::string> titles() const {
+    std::vector<std::string> out;
+    out.reserve(movies_.size());
+    for (const auto& [name, movie] : movies_) out.push_back(name);
+    return out;
+  }
+  [[nodiscard]] std::size_t size() const { return movies_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<const Movie>> movies_;
+};
+
+}  // namespace ftvod::mpeg

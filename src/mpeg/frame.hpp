@@ -1,0 +1,35 @@
+// MPEG frame model. Only what the VoD protocol observes: frame index, type
+// (I frames are full images and must be protected; P/B are incremental) and
+// wire size. See DESIGN.md §2 for why this substitutes for real MPEG assets.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace ftvod::mpeg {
+
+enum class FrameType : std::uint8_t { kI = 0, kP = 1, kB = 2 };
+
+inline const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kI:
+      return "I";
+    case FrameType::kP:
+      return "P";
+    case FrameType::kB:
+      return "B";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, FrameType t) {
+  return os << to_string(t);
+}
+
+struct FrameInfo {
+  std::uint64_t index = 0;  // position in display order
+  FrameType type = FrameType::kI;
+  std::uint32_t size_bytes = 0;
+};
+
+}  // namespace ftvod::mpeg

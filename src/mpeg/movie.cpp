@@ -1,0 +1,77 @@
+#include "mpeg/movie.hpp"
+
+#include <array>
+#include <cassert>
+#include <functional>
+
+namespace ftvod::mpeg {
+
+namespace {
+
+// Display-order GOP pattern and per-type size weights (sum per GOP = 25).
+constexpr std::array<FrameType, Movie::kGopLength> kGopPattern = {
+    FrameType::kI, FrameType::kB, FrameType::kB, FrameType::kP,
+    FrameType::kB, FrameType::kB, FrameType::kP, FrameType::kB,
+    FrameType::kB, FrameType::kP, FrameType::kB, FrameType::kB};
+constexpr std::uint32_t kGopWeightSum = 8 + 3 * 3 + 8 * 1;
+
+constexpr std::uint32_t weight(FrameType t) {
+  switch (t) {
+    case FrameType::kI:
+      return 8;
+    case FrameType::kP:
+      return 3;
+    case FrameType::kB:
+      return 1;
+  }
+  return 1;
+}
+
+/// SplitMix64: cheap stateless hash for deterministic per-frame variation.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::shared_ptr<const Movie> Movie::synthetic(std::string name,
+                                              double duration_s, double fps,
+                                              double bitrate_bps) {
+  const auto frames = static_cast<std::uint64_t>(duration_s * fps);
+  const std::uint64_t seed = std::hash<std::string>{}(name);
+  return std::shared_ptr<const Movie>(
+      new Movie(std::move(name), fps, bitrate_bps, frames, seed));
+}
+
+Movie::Movie(std::string name, double fps, double bitrate_bps,
+             std::uint64_t frame_count, std::uint64_t seed)
+    : name_(std::move(name)),
+      fps_(fps),
+      bitrate_bps_(bitrate_bps),
+      frame_count_(frame_count),
+      seed_(seed) {
+  const double bytes_per_gop =
+      bitrate_bps_ / 8.0 * static_cast<double>(kGopLength) / fps_;
+  unit_bytes_ = static_cast<std::uint32_t>(bytes_per_gop / kGopWeightSum);
+}
+
+FrameType Movie::frame_type(std::uint64_t index) const {
+  return kGopPattern[index % kGopLength];
+}
+
+FrameInfo Movie::frame(std::uint64_t index) const {
+  assert(index < frame_count_);
+  const FrameType type = frame_type(index);
+  const std::uint32_t base = unit_bytes_ * weight(type);
+  // Deterministic +/-10% content-dependent variation.
+  const std::uint64_t h = mix(seed_ ^ index);
+  const double factor = 0.9 + 0.2 * (static_cast<double>(h % 10'000) / 10'000);
+  return FrameInfo{index, type,
+                   static_cast<std::uint32_t>(static_cast<double>(base) *
+                                              factor)};
+}
+
+}  // namespace ftvod::mpeg

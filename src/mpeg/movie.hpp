@@ -1,0 +1,59 @@
+// Synthetic MPEG movie: a deterministic frame sequence with the classic
+// IBBPBBPBBPBB GOP, frame sizes calibrated so the stream averages the
+// requested bitrate (the paper's prototype used ~1.4 Mbps, 30 fps).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mpeg/frame.hpp"
+#include "sim/time.hpp"
+
+namespace ftvod::mpeg {
+
+class Movie {
+ public:
+  /// Builds a movie of `duration_s` seconds at `fps` and `bitrate_bps`.
+  /// Frame sizes vary deterministically (seeded by the name) around the
+  /// I/P/B weight ratio 8:3:1.
+  static std::shared_ptr<const Movie> synthetic(std::string name,
+                                                double duration_s,
+                                                double fps = 30.0,
+                                                double bitrate_bps = 1.4e6);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double fps() const { return fps_; }
+  [[nodiscard]] double bitrate_bps() const { return bitrate_bps_; }
+  [[nodiscard]] std::uint64_t frame_count() const { return frame_count_; }
+  [[nodiscard]] std::size_t gop_length() const { return kGopLength; }
+  [[nodiscard]] double duration_s() const {
+    return static_cast<double>(frame_count_) / fps_;
+  }
+  /// Display period of one frame.
+  [[nodiscard]] sim::Duration frame_period() const {
+    return static_cast<sim::Duration>(1e6 / fps_);
+  }
+  [[nodiscard]] std::uint32_t avg_frame_bytes() const {
+    return static_cast<std::uint32_t>(bitrate_bps_ / 8.0 / fps_);
+  }
+
+  /// Frame metadata; index must be < frame_count().
+  [[nodiscard]] FrameInfo frame(std::uint64_t index) const;
+  [[nodiscard]] FrameType frame_type(std::uint64_t index) const;
+
+  static constexpr std::size_t kGopLength = 12;  // IBBPBBPBBPBB
+
+ private:
+  Movie(std::string name, double fps, double bitrate_bps,
+        std::uint64_t frame_count, std::uint64_t seed);
+
+  std::string name_;
+  double fps_;
+  double bitrate_bps_;
+  std::uint64_t frame_count_;
+  std::uint64_t seed_;
+  std::uint32_t unit_bytes_;  // size unit; I=8u, P=3u, B=1u
+};
+
+}  // namespace ftvod::mpeg

@@ -1,0 +1,62 @@
+// Quality adaptation (paper §4.3): when a client cannot process the full
+// frame rate, the server transmits all I frames plus a subset of the
+// incremental frames matching the client's capability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg/movie.hpp"
+
+namespace ftvod::mpeg {
+
+/// Decides which frames to transmit for a reduced target frame rate.
+/// Deterministic per frame index, so a migrated server makes the same
+/// choices as its predecessor. Selection priority within a GOP: the I frame
+/// always, then P frames (other frames depend on them), then B frames.
+class QualityFilter {
+ public:
+  QualityFilter(const Movie& movie, double target_fps) {
+    const std::size_t gop = movie.gop_length();
+    std::size_t keep = gop;
+    if (target_fps < movie.fps()) {
+      const double frac = target_fps / movie.fps();
+      keep = static_cast<std::size_t>(frac * static_cast<double>(gop) + 0.5);
+      if (keep == 0) keep = 1;  // never drop below the I frame
+    }
+    keep_per_gop_ = keep;
+    keep_mask_.assign(gop, false);
+    // Positions ranked: I first, then P in display order, then B.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < gop; ++i) {
+      if (movie.frame_type(i) == FrameType::kI) order.push_back(i);
+    }
+    for (std::size_t i = 0; i < gop; ++i) {
+      if (movie.frame_type(i) == FrameType::kP) order.push_back(i);
+    }
+    for (std::size_t i = 0; i < gop; ++i) {
+      if (movie.frame_type(i) == FrameType::kB) order.push_back(i);
+    }
+    for (std::size_t r = 0; r < keep && r < order.size(); ++r) {
+      keep_mask_[order[r]] = true;
+    }
+  }
+
+  /// True when the frame should be transmitted.
+  [[nodiscard]] bool should_send(std::uint64_t index) const {
+    return keep_mask_[index % keep_mask_.size()];
+  }
+
+  [[nodiscard]] std::size_t keep_per_gop() const { return keep_per_gop_; }
+  /// Effective transmitted rate given the movie's native fps.
+  [[nodiscard]] double effective_fps(double native_fps) const {
+    return native_fps * static_cast<double>(keep_per_gop_) /
+           static_cast<double>(keep_mask_.size());
+  }
+
+ private:
+  std::size_t keep_per_gop_ = 0;
+  std::vector<bool> keep_mask_;
+};
+
+}  // namespace ftvod::mpeg

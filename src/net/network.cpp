@@ -1,0 +1,224 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace ftvod::net {
+
+namespace {
+constexpr std::string_view kLog = "net";
+}
+
+Socket::~Socket() {
+  if (net_ != nullptr) net_->unbind(*this);
+}
+
+void Socket::send(const Endpoint& to, util::Bytes payload,
+                  std::size_t padding_bytes) {
+  net_->send_from_socket(*this, to, std::move(payload), padding_bytes);
+}
+
+NodeId Network::add_host(std::string name, HostConfig cfg) {
+  Host h;
+  h.name = std::move(name);
+  h.cfg = cfg;
+  hosts_.push_back(std::move(h));
+  return static_cast<NodeId>(hosts_.size() - 1);
+}
+
+const std::string& Network::host_name(NodeId id) const {
+  return hosts_.at(id).name;
+}
+
+std::unique_ptr<Socket> Network::bind(NodeId node, Port port,
+                                      Socket::RecvHandler handler) {
+  Host& h = hosts_.at(node);
+  if (h.sockets.contains(port)) {
+    throw std::runtime_error("port already bound: node " +
+                             std::to_string(node) + " port " +
+                             std::to_string(port));
+  }
+  auto sock = std::unique_ptr<Socket>(
+      new Socket(*this, Endpoint{node, port}, std::move(handler)));
+  h.sockets[port] = sock.get();
+  return sock;
+}
+
+void Network::unbind(const Socket& s) {
+  Host& h = hosts_.at(s.local().node);
+  auto it = h.sockets.find(s.local().port);
+  if (it != h.sockets.end() && it->second == &s) h.sockets.erase(it);
+}
+
+void Network::set_quality(NodeId a, NodeId b, const LinkQuality& q) {
+  quality_overrides_[std::minmax(a, b)] = q;
+}
+
+const LinkQuality& Network::quality(NodeId a, NodeId b) const {
+  auto it = quality_overrides_.find(std::minmax(a, b));
+  return it != quality_overrides_.end() ? it->second : default_quality_;
+}
+
+void Network::partition(const std::vector<std::set<NodeId>>& components) {
+  partition_ = components;
+}
+
+void Network::heal() { partition_.clear(); }
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  if (!alive(a) || !alive(b)) return false;
+  if (partition_.empty() || a == b) return true;
+  // Hosts absent from every listed component form one implicit component.
+  auto component_of = [&](NodeId n) -> int {
+    for (std::size_t i = 0; i < partition_.size(); ++i) {
+      if (partition_[i].contains(n)) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  return component_of(a) == component_of(b);
+}
+
+void Network::crash_host(NodeId node) {
+  Host& h = hosts_.at(node);
+  if (!h.alive) return;
+  h.alive = false;
+  util::log_info(kLog, "host ", h.name, " (n", node, ") crashed");
+  // Listeners may re-register during iteration; work on a copy.
+  auto listeners = std::move(h.crash_listeners);
+  h.crash_listeners.clear();
+  for (auto& fn : listeners) fn();
+}
+
+void Network::restore_host(NodeId node) {
+  Host& h = hosts_.at(node);
+  h.alive = true;
+  h.uplink_free_at = sched_->now();
+  util::log_info(kLog, "host ", h.name, " (n", node, ") restored");
+}
+
+bool Network::alive(NodeId node) const { return hosts_.at(node).alive; }
+
+void Network::on_crash(NodeId node, std::function<void()> listener) {
+  hosts_.at(node).crash_listeners.push_back(std::move(listener));
+}
+
+const HostStats& Network::stats(NodeId node) const {
+  return hosts_.at(node).stats;
+}
+
+void Network::send_from_socket(Socket& src, const Endpoint& to,
+                               util::Bytes payload,
+                               std::size_t padding_bytes) {
+  const Endpoint from = src.local();
+  Host& h = hosts_.at(from.node);
+  const std::size_t wire_size =
+      payload.size() + padding_bytes + kHeaderBytes;
+
+  if (!h.alive) return;  // a dead host transmits nothing
+
+  ++h.stats.datagrams_sent;
+  h.stats.bytes_sent += wire_size;
+  ++src.stats_.datagrams_sent;
+  src.stats_.bytes_sent += wire_size;
+  total_wire_bytes_ += wire_size;
+
+  // Serialization at the uplink: the packet departs when the queue ahead of
+  // it has drained. Tail-drop if the queue (in bytes) exceeds the limit.
+  const sim::Time now = sched_->now();
+  const sim::Time start = std::max(now, h.uplink_free_at);
+  const double queued_bytes =
+      static_cast<double>(start - now) * h.cfg.uplink_bps / 8e6;
+  if (queued_bytes > static_cast<double>(h.cfg.queue_limit_bytes)) {
+    ++h.stats.dropped_queue;
+    return;
+  }
+  const auto serialize_us = static_cast<sim::Duration>(
+      static_cast<double>(wire_size) * 8e6 / h.cfg.uplink_bps);
+  h.uplink_free_at = start + std::max<sim::Duration>(serialize_us, 1);
+  const sim::Time departure = h.uplink_free_at;
+
+  if (!reachable(from.node, to.node)) {
+    ++h.stats.dropped_unreachable;
+    return;
+  }
+
+  const LinkQuality& q = quality(from.node, to.node);
+  if (rng_->bernoulli(q.loss)) {
+    ++h.stats.dropped_loss;
+    return;
+  }
+
+  auto data = std::make_shared<util::Bytes>(std::move(payload));
+  const int copies = rng_->bernoulli(q.duplicate) ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    const sim::Duration jitter =
+        q.jitter > 0 ? static_cast<sim::Duration>(
+                           rng_->uniform(0.0, static_cast<double>(q.jitter)))
+                     : 0;
+    const sim::Time arrival = departure + q.base_delay + jitter;
+    sched_->at(arrival, [this, from, to, data, wire_size] {
+      deliver(from, to, data, wire_size);
+    });
+  }
+}
+
+void Network::deliver(Endpoint from, Endpoint to,
+                      std::shared_ptr<util::Bytes> data,
+                      std::size_t wire_size) {
+  if (to.node >= hosts_.size()) return;
+  Host& h = hosts_[to.node];
+  // Re-check at arrival time: the destination may have crashed or been
+  // partitioned away while the packet was in flight.
+  if (!h.alive || !reachable(from.node, to.node)) {
+    ++h.stats.dropped_unreachable;
+    return;
+  }
+  // Downlink serialization: arriving datagrams share the receiver's
+  // last-mile capacity, whatever socket (or none) they are addressed to.
+  const sim::Time now = sched_->now();
+  const sim::Time start = std::max(now, h.downlink_free_at);
+  const double queued_bytes =
+      static_cast<double>(start - now) * h.cfg.downlink_bps / 8e6;
+  if (queued_bytes > static_cast<double>(h.cfg.downlink_queue_bytes)) {
+    ++h.stats.dropped_queue;
+    return;
+  }
+  const auto serialize_us = static_cast<sim::Duration>(
+      static_cast<double>(wire_size) * 8e6 / h.cfg.downlink_bps);
+  h.downlink_free_at = start + std::max<sim::Duration>(serialize_us, 1);
+  if (h.downlink_free_at == now + 1 && start == now) {
+    // Fast path: an idle, effectively-unlimited downlink.
+    hand_off(from, to, std::move(data), wire_size);
+    return;
+  }
+  sched_->at(h.downlink_free_at, [this, from, to, data, wire_size] {
+    hand_off(from, to, data, wire_size);
+  });
+}
+
+void Network::hand_off(Endpoint from, Endpoint to,
+                       std::shared_ptr<util::Bytes> data,
+                       std::size_t wire_size) {
+  if (to.node >= hosts_.size()) return;
+  Host& h = hosts_[to.node];
+  if (!h.alive || !reachable(from.node, to.node)) {
+    ++h.stats.dropped_unreachable;
+    return;
+  }
+  auto it = h.sockets.find(to.port);
+  if (it == h.sockets.end()) {
+    ++h.stats.dropped_unreachable;
+    return;
+  }
+  ++h.stats.datagrams_received;
+  h.stats.bytes_received += wire_size;
+  Socket* sock = it->second;
+  ++sock->stats_.datagrams_received;
+  sock->stats_.bytes_received += wire_size;
+  if (sock->handler_) sock->handler_(from, *data);
+}
+
+}  // namespace ftvod::net

@@ -1,0 +1,118 @@
+// Simulated datagram network. Models, per packet:
+//   * serialization delay at the sender's uplink (rate + tail-drop queue),
+//   * propagation delay with uniform jitter (reordering emerges naturally),
+//   * i.i.d. loss and optional duplication,
+//   * host crashes and network partitions.
+//
+// This substrate stands in for the paper's switched-Ethernet LAN and 7-hop
+// WAN testbeds (DESIGN.md §2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/quality.hpp"
+#include "net/socket.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ftvod::net {
+
+struct HostStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_unreachable = 0;  // partition/crash/no socket
+};
+
+class Network {
+ public:
+  /// Per-datagram wire overhead charged on top of the payload (IP + UDP).
+  static constexpr std::size_t kHeaderBytes = 28;
+
+  Network(sim::Scheduler& sched, util::Rng& rng)
+      : sched_(&sched), rng_(&rng) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a host and returns its id (ids are dense, starting at 0).
+  NodeId add_host(std::string name, HostConfig cfg = {});
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] const std::string& host_name(NodeId id) const;
+
+  /// Binds a receive handler; at most one socket per (node, port).
+  [[nodiscard]] std::unique_ptr<Socket> bind(NodeId node, Port port,
+                                             Socket::RecvHandler handler);
+
+  /// Link quality applied to every pair without an explicit override.
+  void set_default_quality(const LinkQuality& q) { default_quality_ = q; }
+  /// Symmetric per-pair override.
+  void set_quality(NodeId a, NodeId b, const LinkQuality& q);
+  [[nodiscard]] const LinkQuality& quality(NodeId a, NodeId b) const;
+
+  /// Splits the network into components; packets cross components only
+  /// within the same component. Hosts not mentioned form an implicit
+  /// final component together.
+  void partition(const std::vector<std::set<NodeId>>& components);
+  void heal();
+
+  /// Silent fail-stop: in-flight and future traffic to/from the host is
+  /// dropped, and registered crash listeners fire (so co-located protocol
+  /// stacks stop their timers).
+  void crash_host(NodeId node);
+  void restore_host(NodeId node);
+  [[nodiscard]] bool alive(NodeId node) const;
+
+  /// Registers a callback invoked when `node` crashes.
+  void on_crash(NodeId node, std::function<void()> listener);
+
+  [[nodiscard]] const HostStats& stats(NodeId node) const;
+  [[nodiscard]] std::uint64_t total_wire_bytes() const {
+    return total_wire_bytes_;
+  }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return *sched_; }
+
+ private:
+  friend class Socket;
+
+  struct Host {
+    std::string name;
+    HostConfig cfg;
+    bool alive = true;
+    sim::Time uplink_free_at = 0;    // when the uplink drains its queue
+    sim::Time downlink_free_at = 0;  // when the downlink drains its queue
+    std::unordered_map<Port, Socket*> sockets;
+    std::vector<std::function<void()>> crash_listeners;
+    HostStats stats;
+  };
+
+  void send_from_socket(Socket& src, const Endpoint& to, util::Bytes payload,
+                        std::size_t padding_bytes);
+  /// Link arrival: applies downlink serialization/queueing, then hands off.
+  void deliver(Endpoint from, Endpoint to, std::shared_ptr<util::Bytes> data,
+               std::size_t wire_size);
+  /// Final dispatch to the bound socket.
+  void hand_off(Endpoint from, Endpoint to, std::shared_ptr<util::Bytes> data,
+                std::size_t wire_size);
+  void unbind(const Socket& s);
+  [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
+
+  sim::Scheduler* sched_;
+  util::Rng* rng_;
+  std::vector<Host> hosts_;
+  LinkQuality default_quality_{};
+  std::map<std::pair<NodeId, NodeId>, LinkQuality> quality_overrides_;
+  std::vector<std::set<NodeId>> partition_;
+  std::uint64_t total_wire_bytes_ = 0;
+};
+
+}  // namespace ftvod::net

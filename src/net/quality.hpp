@@ -1,0 +1,45 @@
+// Link quality parameters and canned profiles for the two environments the
+// paper evaluates: a 100 Mbps switched-Ethernet LAN and a 7-hop small-scale
+// WAN (Hebrew University <-> Tel Aviv University) without QoS reservation.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace ftvod::net {
+
+struct LinkQuality {
+  sim::Duration base_delay = sim::usec(200);  // one-way propagation
+  sim::Duration jitter = 0;      // uniform extra delay in [0, jitter]
+  double loss = 0.0;             // i.i.d. packet drop probability
+  double duplicate = 0.0;        // probability the packet arrives twice
+};
+
+struct HostConfig {
+  double uplink_bps = 100e6;            // serialization rate at the sender
+  std::size_t queue_limit_bytes = 512 * 1024;  // tail-drop threshold
+  /// Receive-side (last-mile) capacity: arriving datagrams serialize at
+  /// this rate and tail-drop beyond the queue limit. Models the ADSL/cable
+  /// downlinks the paper's introduction targets; competing traffic on the
+  /// same downlink congests the video unless capacity is reserved (the
+  /// paper's QoS-reservation discussion). Effectively unlimited by default.
+  double downlink_bps = 1e9;
+  std::size_t downlink_queue_bytes = 512 * 1024;
+};
+
+/// Switched Ethernet: sub-millisecond delay, no loss, tiny jitter.
+inline LinkQuality lan_quality() {
+  return LinkQuality{.base_delay = sim::usec(300),
+                     .jitter = sim::usec(400),
+                     .loss = 0.0,
+                     .duplicate = 0.0};
+}
+
+/// Seven-hop Internet path: tens of ms delay, real jitter, ~1% loss.
+inline LinkQuality wan_quality(double loss = 0.01) {
+  return LinkQuality{.base_delay = sim::msec(18),
+                     .jitter = sim::msec(12),
+                     .loss = loss,
+                     .duplicate = 0.0005};
+}
+
+}  // namespace ftvod::net

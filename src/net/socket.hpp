@@ -1,0 +1,52 @@
+// UDP-like datagram socket bound to a (node, port). Obtained from
+// Network::bind(); unbinds itself on destruction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/codec.hpp"
+
+namespace ftvod::net {
+
+class Network;
+
+struct SocketStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;      // wire bytes including padding+headers
+  std::uint64_t bytes_received = 0;  // wire bytes including padding+headers
+};
+
+class Socket {
+ public:
+  using RecvHandler =
+      std::function<void(const Endpoint& from, std::span<const std::byte>)>;
+
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Sends a datagram. `padding_bytes` inflates the accounted wire size
+  /// without carrying real bytes (used for synthetic video frame bodies).
+  void send(const Endpoint& to, util::Bytes payload,
+            std::size_t padding_bytes = 0);
+
+  [[nodiscard]] Endpoint local() const { return local_; }
+  [[nodiscard]] const SocketStats& stats() const { return stats_; }
+
+ private:
+  friend class Network;
+  Socket(Network& net, Endpoint local, RecvHandler handler)
+      : net_(&net), local_(local), handler_(std::move(handler)) {}
+
+  Network* net_;
+  Endpoint local_;
+  RecvHandler handler_;
+  SocketStats stats_;
+};
+
+}  // namespace ftvod::net

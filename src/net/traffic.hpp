@@ -1,0 +1,49 @@
+// Constant-bit-rate background traffic generator: competes with the video
+// stream for the receiver's downlink. Used by the congestion experiments
+// that quantify the paper's QoS-reservation discussion (§2: the service is
+// "best provided using QoS reservation mechanisms", but buffers and flow
+// control cover moderate contention).
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/timer.hpp"
+
+namespace ftvod::net {
+
+class TrafficGenerator {
+ public:
+  /// Sends `rate_bps` of junk from `src` (port 9999) to `dst`:9998 in
+  /// `datagram_bytes` datagrams. Starts immediately.
+  TrafficGenerator(sim::Scheduler& sched, Network& net, NodeId src,
+                   NodeId dst, double rate_bps,
+                   std::size_t datagram_bytes = 1400)
+      : dst_{dst, 9998},
+        datagram_bytes_(datagram_bytes),
+        socket_(net.bind(src, 9999, nullptr)),
+        timer_(sched,
+               static_cast<sim::Duration>(
+                   static_cast<double>(datagram_bytes) * 8e6 / rate_bps),
+               [this] { tick(); }) {
+    if (rate_bps > 0) timer_.start();
+  }
+
+  void stop() { timer_.stop(); }
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+
+ private:
+  void tick() {
+    util::Bytes header{std::byte{0xFF}};  // not a valid protocol message
+    socket_->send(dst_, std::move(header), datagram_bytes_ - 1);
+    ++sent_;
+  }
+
+  Endpoint dst_;
+  std::size_t datagram_bytes_;
+  std::uint64_t sent_ = 0;
+  std::unique_ptr<Socket> socket_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace ftvod::net

@@ -1,0 +1,47 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ftvod::sim {
+
+Scheduler::EventHandle Scheduler::at(Time t, Callback cb) {
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(cb), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+Scheduler::EventHandle Scheduler::after(Duration d, Callback cb) {
+  return at(now_ + std::max<Duration>(d, 0), std::move(cb));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    *ev.cancelled = true;  // marks it no longer pending
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(Time t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    if (step()) ++n;
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+}  // namespace ftvod::sim

@@ -1,0 +1,80 @@
+// Discrete-event scheduler: a priority queue of (time, callback) events with
+// deterministic FIFO ordering among same-time events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ftvod::sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Cancellation token for a scheduled event. Copyable; cancelling any copy
+  /// cancels the event. A default-constructed handle is inert.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    void cancel() {
+      if (cancelled_) *cancelled_ = true;
+    }
+    /// True when the event is still scheduled to fire.
+    [[nodiscard]] bool pending() const { return cancelled_ && !*cancelled_; }
+
+   private:
+    friend class Scheduler;
+    explicit EventHandle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules cb at absolute time t (clamped to now).
+  EventHandle at(Time t, Callback cb);
+  /// Schedules cb after a relative delay (clamped to 0).
+  EventHandle after(Duration d, Callback cb);
+
+  /// Runs the next event. Returns false when the queue is empty.
+  bool step();
+  /// Runs until the queue is empty; returns number of events run.
+  std::size_t run();
+  /// Runs all events with time <= t, then advances the clock to t.
+  std::size_t run_until(Time t);
+  /// Runs all events in the next d microseconds of virtual time.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;  // tie-break: same-time events run in schedule order
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ftvod::sim

@@ -1,0 +1,20 @@
+// Virtual time. The whole system runs on one discrete-event clock measured
+// in integer microseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace ftvod::sim {
+
+using Time = std::int64_t;      // absolute, microseconds
+using Duration = std::int64_t;  // relative, microseconds
+
+constexpr Duration usec(std::int64_t v) { return v; }
+constexpr Duration msec(std::int64_t v) { return v * 1000; }
+constexpr Duration sec(double v) {
+  return static_cast<Duration>(v * 1'000'000.0);
+}
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_msec(Time t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace ftvod::sim

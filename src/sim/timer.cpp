@@ -1,0 +1,23 @@
+#include "sim/timer.hpp"
+
+namespace ftvod::sim {
+
+void OneShotTimer::arm(Duration delay, std::function<void()> fn) {
+  cancel();
+  handle_ = sched_->after(delay, std::move(fn));
+}
+
+void PeriodicTimer::start() { start(period_); }
+
+void PeriodicTimer::start(Duration initial_delay) {
+  stop();
+  handle_ = sched_->after(initial_delay, [this] { tick(); });
+}
+
+void PeriodicTimer::tick() {
+  // Re-arm before invoking so the callback may call stop() or set_period().
+  handle_ = sched_->after(period_, [this] { tick(); });
+  fn_();
+}
+
+}  // namespace ftvod::sim

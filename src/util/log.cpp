@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace ftvod::util {
+
+namespace {
+
+struct LogState {
+  LogLevel level = LogLevel::kWarn;
+  std::function<std::int64_t()> time_source;
+  std::function<void(std::string_view)> sink;
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { state().level = level; }
+LogLevel Log::level() { return state().level; }
+
+void Log::set_time_source(std::function<std::int64_t()> src) {
+  state().time_source = std::move(src);
+}
+
+void Log::set_sink(std::function<void(std::string_view)> sink) {
+  state().sink = std::move(sink);
+}
+
+void Log::reset() { state() = LogState{}; }
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (!enabled(level)) return;
+  std::ostringstream line;
+  if (state().time_source) {
+    const std::int64_t us = state().time_source();
+    line << '[' << std::fixed << std::setprecision(6)
+         << static_cast<double>(us) / 1e6 << "s] ";
+  }
+  line << level_name(level) << ' ' << component << ": " << message;
+  if (state().sink) {
+    state().sink(line.str());
+  } else {
+    std::fprintf(stderr, "%s\n", line.str().c_str());
+  }
+}
+
+}  // namespace ftvod::util

@@ -1,0 +1,62 @@
+// Minimal leveled logger with a pluggable simulation-time source, so log
+// lines are stamped with virtual time instead of wall-clock time.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ftvod::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  /// Global minimum level; messages below it are dropped cheaply.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Supplies the timestamp (simulation microseconds) printed on each line.
+  static void set_time_source(std::function<std::int64_t()> src);
+
+  /// Redirects output (default: stderr). Used by tests to capture lines.
+  static void set_sink(std::function<void(std::string_view)> sink);
+  static void reset();
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+  template <typename... Args>
+  static void log(LogLevel level, std::string_view component,
+                  const Args&... args) {
+    if (!enabled(level)) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    write(level, component, oss.str());
+  }
+};
+
+template <typename... Args>
+void log_trace(std::string_view component, const Args&... args) {
+  Log::log(LogLevel::kTrace, component, args...);
+}
+template <typename... Args>
+void log_debug(std::string_view component, const Args&... args) {
+  Log::log(LogLevel::kDebug, component, args...);
+}
+template <typename... Args>
+void log_info(std::string_view component, const Args&... args) {
+  Log::log(LogLevel::kInfo, component, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, const Args&... args) {
+  Log::log(LogLevel::kWarn, component, args...);
+}
+template <typename... Args>
+void log_error(std::string_view component, const Args&... args) {
+  Log::log(LogLevel::kError, component, args...);
+}
+
+}  // namespace ftvod::util

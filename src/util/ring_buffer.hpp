@@ -1,0 +1,67 @@
+// Fixed-capacity FIFO ring buffer used for packet queues and frame FIFOs.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ftvod::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+
+  /// Appends; returns false (and drops the value) when full.
+  bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Removes and returns the oldest element.
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return v;
+  }
+
+  /// Oldest element; undefined when empty (assert in debug).
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// i-th oldest element, 0-based; asserts i < size().
+  const T& at(std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftvod::util

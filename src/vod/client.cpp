@@ -1,0 +1,261 @@
+#include "vod/client.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ftvod::vod {
+
+namespace {
+constexpr std::string_view kLog = "vod.client";
+
+std::uint64_t make_client_id(net::NodeId node) {
+  static std::uint64_t counter = 0;
+  return (static_cast<std::uint64_t>(node) << 32) | ++counter;
+}
+
+}  // namespace
+
+VodClient::VodClient(sim::Scheduler& sched, net::Network& net,
+                     gcs::Daemon& daemon, VodParams params)
+    : sched_(&sched),
+      net_(&net),
+      daemon_(&daemon),
+      params_(params),
+      client_id_(make_client_id(daemon.self())),
+      flow_(params),
+      display_timer_(sched, sim::msec(33), [this] { display_tick(); }),
+      watchdog_timer_(sched, params.watchdog_period,
+                      [this] { watchdog_tick(); }),
+      open_retry_timer_(sched) {
+  data_socket_ = net_->bind(daemon_->self(), params_.client_data_port,
+                            [this](const net::Endpoint& from,
+                                   std::span<const std::byte> d) {
+                              on_datagram(from, d);
+                            });
+  net_->on_crash(daemon_->self(), [this] {
+    halted_ = true;
+    display_timer_.stop();
+    watchdog_timer_.stop();
+    open_retry_timer_.cancel();
+  });
+}
+
+const BufferCounters& VodClient::counters() const {
+  return buffers_ ? buffers_->counters() : empty_counters_;
+}
+
+double VodClient::low_water_frames() const {
+  return buffers_ ? params_.low_water_frac *
+                        static_cast<double>(buffers_->total_capacity_frames())
+                  : 0.0;
+}
+
+double VodClient::high_water_frames() const {
+  return buffers_ ? params_.high_water_frac *
+                        static_cast<double>(buffers_->total_capacity_frames())
+                  : 0.0;
+}
+
+void VodClient::watch(const std::string& movie, double capability_fps) {
+  movie_ = movie;
+  capability_fps_ = capability_fps;
+  // Join the session group before announcing it: the reply arrives there.
+  session_member_ = daemon_->join(
+      session_group_name(client_id_),
+      gcs::GroupCallbacks{
+          [this](const gcs::GcsEndpoint& from, std::span<const std::byte> d) {
+            on_session_message(from, d);
+          },
+          [this](const gcs::GroupView&) { ++control_stats_.session_views; }});
+  send_open_request();
+  watchdog_timer_.start();
+}
+
+void VodClient::send_open_request() {
+  if (halted_ || connected_) return;
+  wire::OpenRequest req{client_id_, movie_, data_socket_->local(),
+                        capability_fps_};
+  daemon_->send_to_group(server_group_name(), wire::encode(req));
+  open_retry_timer_.arm(params_.open_retry, [this] {
+    ++control_stats_.open_retries;
+    send_open_request();
+  });
+}
+
+void VodClient::on_session_message(const gcs::GcsEndpoint& from,
+                                   std::span<const std::byte> d) {
+  if (halted_) return;
+  if (from.node == daemon_->self()) return;  // our own control messages
+  if (wire::peek_type(d) != wire::MsgType::kOpenReply) return;
+  const auto reply = wire::decode_open_reply(d);
+  if (!reply || reply->client_id != client_id_ || connected_) return;
+
+  connected_ = true;
+  open_retry_timer_.cancel();
+  last_frame_at_ = sched_->now();
+  movie_fps_ = reply->fps;
+  movie_frames_ = reply->frame_count;
+  if (!buffers_) {
+    // Keep existing buffers (and their counters) across a reconnect.
+    buffers_.emplace(params_.sw_buffer_frames, params_.hw_buffer_bytes,
+                     reply->avg_frame_bytes);
+  }
+  update_display_rate();
+  util::log_info(kLog, "client ", client_id_, " connected for '", movie_,
+                 "' (", reply->fps, " fps, ", reply->frame_count, " frames)");
+}
+
+void VodClient::on_datagram(const net::Endpoint& from,
+                            std::span<const std::byte> d) {
+  (void)from;  // deliberately ignored: the client must not track servers
+  if (halted_ || !buffers_) return;
+  if (wire::peek_type(d) != wire::MsgType::kFrame) return;
+  if (const auto f = wire::decode_frame(d)) {
+    if (f->client_id == client_id_) on_frame(*f);
+  }
+}
+
+void VodClient::on_frame(const wire::Frame& f) {
+  last_frame_at_ = sched_->now();
+  buffers_->insert(mpeg::FrameInfo{f.frame_index, f.type, f.size_bytes});
+
+  // Start the display loop once the decoder has a little material.
+  if (!playing_ &&
+      buffers_->hw_frames() >=
+          static_cast<std::size_t>(params_.display_prefill_frames)) {
+    playing_ = true;
+    if (!paused_) display_timer_.start();
+  }
+
+  if (const auto action = flow_.on_frame_received(
+          buffers_->occupancy_fraction(), buffers_->sw_occupancy_fraction())) {
+    send_flow(*action);
+  }
+}
+
+void VodClient::send_flow(FlowAction action) {
+  if (!session_member_ || !connected_) return;
+  switch (action) {
+    case FlowAction::kIncrease:
+      ++control_stats_.increases_sent;
+      session_member_->send(wire::encode(wire::Flow{client_id_, +1}));
+      break;
+    case FlowAction::kDecrease:
+      ++control_stats_.decreases_sent;
+      session_member_->send(wire::encode(wire::Flow{client_id_, -1}));
+      break;
+    case FlowAction::kEmergencyTier1:
+    case FlowAction::kEmergencyTier2: {
+      const std::uint8_t tier =
+          action == FlowAction::kEmergencyTier1 ? 1 : 2;
+      // Rate-limit same-severity emergencies (the server ignores them while
+      // a burst is active anyway), but let an escalation through at once.
+      if (tier >= last_emergency_tier_ &&
+          sched_->now() - last_emergency_at_ <
+              params_.emergency_resend_interval) {
+        return;
+      }
+      last_emergency_at_ = sched_->now();
+      last_emergency_tier_ = tier;
+      ++control_stats_.emergencies_sent;
+      session_member_->send(wire::encode(wire::Emergency{client_id_, tier}));
+      break;
+    }
+  }
+}
+
+void VodClient::watchdog_tick() {
+  if (halted_ || !connected_ || paused_ || !buffers_) return;
+  // Session-loss recovery: if nothing has arrived for much longer than any
+  // takeover needs (e.g. this client was partitioned away long enough for
+  // the servers to declare it failed and tear the session down), go back
+  // to the server group and ask again.
+  const bool at_end =
+      movie_frames_ > 0 &&
+      buffers_->last_displayed() + 1 >=
+          static_cast<std::int64_t>(movie_frames_);
+  if (!at_end &&
+      sched_->now() - last_frame_at_ > params_.reconnect_timeout) {
+    util::log_info(kLog, "client ", client_id_,
+                   " lost its stream; re-requesting '", movie_, "'");
+    connected_ = false;
+    last_frame_at_ = sched_->now();
+    send_open_request();
+    return;
+  }
+  // Emergencies must fire even when no frames arrive (migration outages,
+  // startup, post-seek refills) — the receive path alone cannot see them.
+  const double sw = buffers_->sw_occupancy_fraction();
+  if (sw < params_.emergency_tier1_frac) {
+    send_flow(FlowAction::kEmergencyTier1);
+  } else if (sw < params_.emergency_tier2_frac) {
+    send_flow(FlowAction::kEmergencyTier2);
+  }
+}
+
+void VodClient::display_tick() {
+  if (halted_ || paused_ || !buffers_) return;
+  (void)buffers_->consume();
+}
+
+// ------------------------------------------------------------- VCR control
+
+void VodClient::pause() {
+  if (!session_member_) return;
+  paused_ = true;
+  display_timer_.stop();
+  session_member_->send(
+      wire::encode(wire::Vcr{client_id_, wire::VcrOp::kPause, 0}));
+}
+
+void VodClient::resume() {
+  if (!session_member_) return;
+  paused_ = false;
+  if (playing_) display_timer_.start();
+  session_member_->send(
+      wire::encode(wire::Vcr{client_id_, wire::VcrOp::kResume, 0}));
+}
+
+void VodClient::seek(std::uint64_t frame) {
+  if (!session_member_) return;
+  session_member_->send(
+      wire::encode(wire::Vcr{client_id_, wire::VcrOp::kSeek, frame}));
+  if (buffers_) buffers_->flush_to(frame);
+  flow_.reset();
+  last_emergency_at_ = -1'000'000'000;  // a seek is an emergency situation
+}
+
+void VodClient::set_quality(double fps) {
+  if (!session_member_) return;
+  capability_fps_ = fps;
+  update_display_rate();
+  session_member_->send(
+      wire::encode(wire::SetQuality{client_id_, fps}));
+}
+
+void VodClient::update_display_rate() {
+  // A reduced-quality client shows each received frame longer (frame
+  // repeat in the decoder): the buffer is consumed at the *delivered* rate,
+  // while movie time still advances at the native rate because the server
+  // skips the in-between frames.
+  const double display_fps =
+      capability_fps_ > 0.0 ? std::min(capability_fps_, movie_fps_)
+                            : movie_fps_;
+  display_timer_.set_period(static_cast<sim::Duration>(1e6 / display_fps));
+}
+
+void VodClient::stop() {
+  if (!session_member_) return;
+  session_member_->send(
+      wire::encode(wire::Vcr{client_id_, wire::VcrOp::kStop, 0}));
+  session_member_->leave();
+  session_member_.reset();
+  display_timer_.stop();
+  watchdog_timer_.stop();
+  open_retry_timer_.cancel();
+  connected_ = false;
+  playing_ = false;
+}
+
+}  // namespace ftvod::vod

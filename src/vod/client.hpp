@@ -1,0 +1,117 @@
+// The VoD client (§3, §4). It contacts the anonymous server group, joins
+// its own session group, and from then on only ever talks to "whoever is in
+// my session group" — server crashes and load-balancing migrations are
+// invisible to it, exactly the transparency the paper demonstrates.
+//
+// The client runs the Figure-2 flow-control policy on every received frame,
+// a watchdog that raises emergencies even when nothing arrives (outages),
+// and a display loop consuming one frame per period from the decoder model.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "gcs/daemon.hpp"
+#include "net/network.hpp"
+#include "sim/timer.hpp"
+#include "vod/client_buffer.hpp"
+#include "vod/flow_control.hpp"
+#include "vod/params.hpp"
+#include "vod/wire.hpp"
+
+namespace ftvod::vod {
+
+struct ClientControlStats {
+  std::uint64_t increases_sent = 0;
+  std::uint64_t decreases_sent = 0;
+  std::uint64_t emergencies_sent = 0;
+  std::uint64_t session_views = 0;  // membership changes observed
+  std::uint64_t open_retries = 0;
+};
+
+class VodClient {
+ public:
+  VodClient(sim::Scheduler& sched, net::Network& net, gcs::Daemon& daemon,
+            VodParams params);
+  ~VodClient() = default;
+  VodClient(const VodClient&) = delete;
+  VodClient& operator=(const VodClient&) = delete;
+
+  /// Requests the movie from the service. capability_fps > 0 asks for
+  /// reduced quality (§4.3).
+  void watch(const std::string& movie, double capability_fps = 0.0);
+
+  // --- full VCR control (§3, per the ATM Forum VoD spec) -------------------
+  void pause();
+  void resume();
+  void seek(std::uint64_t frame);
+  void set_quality(double fps);
+  void stop();
+
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] bool playing() const { return playing_; }
+  [[nodiscard]] bool paused() const { return paused_; }
+  [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+  [[nodiscard]] const ClientBuffers* buffers() const {
+    return buffers_ ? &*buffers_ : nullptr;
+  }
+  [[nodiscard]] const BufferCounters& counters() const;
+  [[nodiscard]] const ClientControlStats& control_stats() const {
+    return control_stats_;
+  }
+  [[nodiscard]] double occupancy_fraction() const {
+    return buffers_ ? buffers_->occupancy_fraction() : 0.0;
+  }
+  [[nodiscard]] const VodParams& params() const { return params_; }
+  [[nodiscard]] const net::SocketStats& data_socket_stats() const {
+    return data_socket_->stats();
+  }
+  /// Water marks in frames, for plotting Fig 4(c).
+  [[nodiscard]] double low_water_frames() const;
+  [[nodiscard]] double high_water_frames() const;
+
+ private:
+  void on_datagram(const net::Endpoint& from, std::span<const std::byte> d);
+  void on_session_message(const gcs::GcsEndpoint& from,
+                          std::span<const std::byte> d);
+  void on_frame(const wire::Frame& f);
+  void display_tick();
+  void watchdog_tick();
+  void send_open_request();
+  void send_flow(FlowAction action);
+  void update_display_rate();
+
+  sim::Scheduler* sched_;
+  net::Network* net_;
+  gcs::Daemon* daemon_;
+  VodParams params_;
+
+  std::uint64_t client_id_;
+  std::string movie_;
+  double capability_fps_ = 0.0;
+
+  std::unique_ptr<net::Socket> data_socket_;
+  std::unique_ptr<gcs::GroupMember> session_member_;
+  std::optional<ClientBuffers> buffers_;
+  FlowController flow_;
+
+  bool connected_ = false;  // OpenReply received
+  bool playing_ = false;    // display loop running
+  bool paused_ = false;
+  bool halted_ = false;
+  double movie_fps_ = 30.0;
+  std::uint64_t movie_frames_ = 0;
+
+  sim::PeriodicTimer display_timer_;
+  sim::PeriodicTimer watchdog_timer_;
+  sim::OneShotTimer open_retry_timer_;
+  sim::Time last_emergency_at_ = -1'000'000'000;
+  std::uint8_t last_emergency_tier_ = 255;  // 255 = none outstanding
+  sim::Time last_frame_at_ = 0;
+
+  ClientControlStats control_stats_;
+  BufferCounters empty_counters_;  // returned before connection
+};
+
+}  // namespace ftvod::vod

@@ -1,0 +1,88 @@
+#include "vod/client_buffer.hpp"
+
+#include <algorithm>
+
+namespace ftvod::vod {
+
+void ClientBuffers::insert(const mpeg::FrameInfo& frame) {
+  ++counters_.received;
+  const auto idx = static_cast<std::int64_t>(frame.index);
+
+  // Too late to re-order in (the decoder moved past it), or a duplicate.
+  if (idx <= hw_horizon_ || software_.contains(frame.index)) {
+    ++counters_.late;
+    return;
+  }
+
+  if (software_.size() >= sw_capacity_) {
+    // Overflow: make room by discarding the furthest-from-display
+    // incremental frame; fall back to an I frame only when the whole buffer
+    // is I frames (§3: "when possible we discard an incremental frame").
+    auto victim = software_.end();
+    for (auto it = software_.rbegin(); it != software_.rend(); ++it) {
+      if (it->second.type != mpeg::FrameType::kI) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    ++counters_.overflow_discards;
+    if (victim == software_.end()) {
+      // All buffered frames are I frames. Keep them: if the incoming frame
+      // is incremental, discard it instead; otherwise evict the furthest I.
+      if (frame.type != mpeg::FrameType::kI) {
+        return;  // incoming frame dropped
+      }
+      victim = std::prev(software_.end());
+      ++counters_.overflow_discarded_i_frames;
+    }
+    software_.erase(victim);
+  }
+
+  software_.emplace(frame.index, frame);
+  transfer_to_hardware();
+}
+
+void ClientBuffers::transfer_to_hardware() {
+  while (!software_.empty()) {
+    const mpeg::FrameInfo& head = software_.begin()->second;
+    if (hw_bytes_ + head.size_bytes > hw_capacity_bytes_ &&
+        !hardware_.empty()) {
+      break;  // decoder buffer full
+    }
+    hardware_.push_back(head);
+    hw_bytes_ += head.size_bytes;
+    hw_horizon_ = static_cast<std::int64_t>(head.index);
+    software_.erase(software_.begin());
+  }
+}
+
+std::optional<mpeg::FrameInfo> ClientBuffers::consume() {
+  if (hardware_.empty()) {
+    ++counters_.starvation_ticks;
+    return std::nullopt;
+  }
+  const mpeg::FrameInfo frame = hardware_.front();
+  hardware_.pop_front();
+  hw_bytes_ -= frame.size_bytes;
+
+  const auto idx = static_cast<std::int64_t>(frame.index);
+  if (last_displayed_ >= 0 && idx > last_displayed_ + 1) {
+    // Display-order gap: those frames will never be shown.
+    counters_.skipped += static_cast<std::uint64_t>(idx - last_displayed_ - 1);
+  }
+  last_displayed_ = idx;
+  ++counters_.displayed;
+
+  transfer_to_hardware();
+  return frame;
+}
+
+void ClientBuffers::flush_to(std::uint64_t next_expected_frame) {
+  software_.clear();
+  hardware_.clear();
+  hw_bytes_ = 0;
+  hw_horizon_ = static_cast<std::int64_t>(next_expected_frame) - 1;
+  last_displayed_ = static_cast<std::int64_t>(next_expected_frame) - 1;
+}
+
+}  // namespace ftvod::vod

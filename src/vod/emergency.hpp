@@ -1,0 +1,62 @@
+// Server-side emergency transmission quantity (§4.1). After an emergency
+// request the server transmits rate + q frames per second, where q decays
+// multiplicatively every second with integer truncation:
+//   q=12, f=0.8:  12, 9, 7, 5, 4, 3, 2, 1, 0   (sum 43 extra frames)
+// matching the paper's "resulting sequence sum is 43 frames" for a 30 fps
+// movie (a peak overhead of 40% of the mean bandwidth).
+// While q > 0 the server ignores ordinary flow-control requests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ftvod::vod {
+
+class EmergencyQuantity {
+ public:
+  EmergencyQuantity(double decay) : decay_(decay) {}
+
+  /// Starts (or escalates) a burst; a smaller concurrent request never
+  /// shrinks an ongoing larger burst.
+  void trigger(int base_quantity) {
+    if (base_quantity > quantity_) quantity_ = base_quantity;
+  }
+
+  /// One decay period elapsed.
+  void decay_step() {
+    quantity_ = static_cast<int>(std::floor(quantity_ * decay_));
+  }
+
+  [[nodiscard]] int quantity() const { return quantity_; }
+  [[nodiscard]] bool active() const { return quantity_ > 0; }
+  void reset() { quantity_ = 0; }
+
+  /// Total extra frames a burst of base q injects (for capacity planning /
+  /// the emergency-parameter table).
+  static std::uint64_t burst_total(int q, double decay) {
+    std::uint64_t total = 0;
+    int v = q;
+    while (v > 0) {
+      total += static_cast<std::uint64_t>(v);
+      v = static_cast<int>(std::floor(v * decay));
+    }
+    return total;
+  }
+
+  /// Number of seconds until a burst of base q fully decays.
+  static int burst_duration_s(int q, double decay) {
+    int v = q;
+    int s = 0;
+    while (v > 0) {
+      ++s;
+      v = static_cast<int>(std::floor(v * decay));
+    }
+    return s;
+  }
+
+ private:
+  double decay_;
+  int quantity_ = 0;
+};
+
+}  // namespace ftvod::vod

@@ -1,0 +1,98 @@
+// The client's flow-control policy, exactly Figure 2 of the paper plus the
+// two-tier emergency thresholds of §4.1:
+//
+//   condition                     check freq   request
+//   sw occupancy < 15%            f_urgent     emergency tier 1 (q = 12)
+//   sw occupancy < 30%            f_urgent     emergency tier 2 (q = 6)
+//   total < low water             f_urgent     increase
+//   [low, high), occ < prev       f_normal     increase
+//   [low, high), occ > prev       f_normal     decrease
+//   [low, high), occ = prev       f_normal     (nothing)
+//   total >= high water           f_urgent     decrease
+//
+// The water marks are fractions of the *total* buffer space (software +
+// hardware), while the emergency thresholds watch the *software* buffer:
+// it is the stage that empties first in an outage — the paper's crash run
+// drains it to zero (tier 1) and the load-balance run to about a quarter
+// (tier 2, the "less serious emergency situation").
+//
+// Frequencies are in *received frames*: a check fires every
+// flow_normal_every (8) frames in the in-band zone and every
+// flow_urgent_every (4) frames outside it. The policy is a pure state
+// machine so it can be unit-tested and swept in ablations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "vod/params.hpp"
+
+namespace ftvod::vod {
+
+enum class FlowAction : std::uint8_t {
+  kIncrease,
+  kDecrease,
+  kEmergencyTier1,
+  kEmergencyTier2,
+};
+
+class FlowController {
+ public:
+  explicit FlowController(const VodParams& params) : p_(params) {}
+
+  /// Evaluates the policy table, ignoring send frequency (used by
+  /// on_frame_received and by tests). `total` and `software` are occupancy
+  /// fractions of the respective buffer capacities.
+  [[nodiscard]] std::optional<FlowAction> classify(double total,
+                                                   double software) const {
+    if (software < p_.emergency_tier1_frac) return FlowAction::kEmergencyTier1;
+    if (software < p_.emergency_tier2_frac) return FlowAction::kEmergencyTier2;
+    // Out-of-band corrections are trend-damped: keep pushing only while the
+    // occupancy is not already moving back toward the band. Without this,
+    // the ±1 fps steps at the urgent frequency over-correct (the buffer is
+    // a slow plant) and the loop rings: deep rate dips, then an emergency,
+    // then overflow, forever.
+    if (total < p_.low_water_frac) {
+      return total <= prev_occupancy_ ? std::optional(FlowAction::kIncrease)
+                                      : std::nullopt;
+    }
+    if (total >= p_.high_water_frac) {
+      return total >= prev_occupancy_ ? std::optional(FlowAction::kDecrease)
+                                      : std::nullopt;
+    }
+    // In the water-mark band: react to the trend since the last request.
+    if (total < prev_occupancy_) return FlowAction::kIncrease;
+    if (total > prev_occupancy_) return FlowAction::kDecrease;
+    return std::nullopt;
+  }
+
+  /// Called for every received frame with the current occupancy fractions.
+  /// Returns the request to send now, if the policy's frequency is due.
+  std::optional<FlowAction> on_frame_received(double total, double software) {
+    ++frames_since_request_;
+    const bool in_band = total >= p_.low_water_frac &&
+                         total < p_.high_water_frac &&
+                         software >= p_.emergency_tier2_frac;
+    const int due = in_band ? p_.flow_normal_every : p_.flow_urgent_every;
+    if (frames_since_request_ < due) return std::nullopt;
+    const std::optional<FlowAction> action = classify(total, software);
+    frames_since_request_ = 0;
+    prev_occupancy_ = total;
+    return action;
+  }
+
+  /// Resets the frequency counter (after a seek or reconnect).
+  void reset() {
+    frames_since_request_ = 0;
+    prev_occupancy_ = 0.0;
+  }
+
+  [[nodiscard]] double prev_occupancy() const { return prev_occupancy_; }
+
+ private:
+  VodParams p_;
+  int frames_since_request_ = 0;
+  double prev_occupancy_ = 0.0;
+};
+
+}  // namespace ftvod::vod

@@ -1,0 +1,532 @@
+#include "vod/server.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ftvod::vod {
+
+namespace {
+constexpr std::string_view kLog = "vod.server";
+
+/// Unique server nodes present in a movie-group view.
+std::vector<net::NodeId> server_nodes(const gcs::GroupView& v) {
+  std::vector<net::NodeId> nodes;
+  for (const gcs::GcsEndpoint& e : v.members) nodes.push_back(e.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace
+
+VodServer::VodServer(sim::Scheduler& sched, net::Network& net,
+                     gcs::Daemon& daemon, VodParams params)
+    : sched_(&sched),
+      net_(&net),
+      daemon_(&daemon),
+      params_(params),
+      sync_timer_(sched, params.sync_period, [this] { send_sync(); }) {
+  data_socket_ = net_->bind(daemon_->self(), params_.server_data_port,
+                            nullptr);  // the server only transmits video
+  server_group_ = daemon_->join(
+      server_group_name(),
+      gcs::GroupCallbacks{
+          [this](const gcs::GcsEndpoint& from, std::span<const std::byte> d) {
+            on_server_group_message(from, d);
+          },
+          nullptr});
+  net_->on_crash(daemon_->self(), [this] { halt(); });
+  // De-correlate the sync phases across servers: real deployments never
+  // tick in lockstep, and the takeover staleness the paper measures (frames
+  // "transmitted by both servers") comes precisely from this phase offset.
+  const auto phase = static_cast<sim::Duration>(
+      (static_cast<std::uint64_t>(daemon_->self()) * 2654435761u) %
+      static_cast<std::uint64_t>(params_.sync_period));
+  sync_timer_.start(params_.sync_period + phase);
+}
+
+void VodServer::detach() {
+  if (halted_) return;
+  util::log_info(kLog, "server n", daemon_->self(), " detaching gracefully");
+  // Send a final state sync so the survivors resume from fresh offsets,
+  // then leave the movie groups: the resulting view changes trigger the
+  // orderly re-distribution at the survivors.
+  send_sync();
+  for (auto& [name, ms] : movies_) ms->member.reset();
+  server_group_.reset();
+  std::vector<std::uint64_t> clients;
+  for (const auto& [client, movie] : session_movie_) clients.push_back(client);
+  for (std::uint64_t c : clients) close_session(c, /*client_gone=*/false);
+  halt();
+}
+
+void VodServer::halt() {
+  if (halted_) return;
+  halted_ = true;
+  sync_timer_.stop();
+  for (auto& [id, s] : sessions_) s->send_timer.cancel();
+  for (auto& [name, ms] : movies_) ms->rebalance_timer.cancel();
+  util::log_info(kLog, "server n", daemon_->self(), " halted");
+}
+
+void VodServer::add_movie(std::shared_ptr<const mpeg::Movie> movie) {
+  const std::string name = movie->name();
+  catalog_.add(movie);
+  if (movies_.contains(name)) return;
+  auto ms = std::make_unique<MovieState>(*sched_);
+  ms->movie = std::move(movie);
+  ms->member = daemon_->join(
+      movie_group_name(name),
+      gcs::GroupCallbacks{
+          [this, name](const gcs::GcsEndpoint& from,
+                       std::span<const std::byte> d) {
+            on_movie_group_message(name, from, d);
+          },
+          [this, name](const gcs::GroupView& v) {
+            on_movie_group_view(name, v);
+          }});
+  movies_.emplace(name, std::move(ms));
+  util::log_info(kLog, "server n", daemon_->self(), " offers movie '", name,
+                 "'");
+}
+
+void VodServer::remove_movie(const std::string& name) {
+  catalog_.remove(name);
+  auto it = movies_.find(name);
+  if (it == movies_.end()) return;
+  // Close local sessions for this movie; survivors will adopt the clients
+  // when our leave is observed as a movie-group view change.
+  std::vector<std::uint64_t> to_close;
+  for (const auto& [client, movie] : session_movie_) {
+    if (movie == name) to_close.push_back(client);
+  }
+  for (std::uint64_t c : to_close) close_session(c, /*client_gone=*/false);
+  movies_.erase(it);
+}
+
+// ------------------------------------------------------------ control plane
+
+void VodServer::on_server_group_message(const gcs::GcsEndpoint& from,
+                                        std::span<const std::byte> data) {
+  (void)from;
+  if (halted_) return;
+  if (wire::peek_type(data) != wire::MsgType::kOpenRequest) return;
+  if (auto req = wire::decode_open_request(data)) handle_open_request(*req);
+}
+
+void VodServer::handle_open_request(const wire::OpenRequest& req) {
+  auto it = movies_.find(req.movie);
+  if (it == movies_.end()) return;  // we do not hold this movie
+  MovieState& ms = *it->second;
+
+  // Duplicate open (client retry): if we already serve it, re-send the
+  // reply; if someone else owns it, stay silent.
+  if (auto sit = sessions_.find(req.client_id); sit != sessions_.end()) {
+    wire::OpenReply reply{req.client_id, req.movie, ms.movie->fps(),
+                          ms.movie->frame_count(),
+                          ms.movie->avg_frame_bytes()};
+    sit->second->member->send(wire::encode(reply));
+    return;
+  }
+  if (ms.owners.contains(req.client_id) &&
+      std::binary_search(ms.view_servers.begin(), ms.view_servers.end(),
+                         ms.owners[req.client_id])) {
+    if (ms.owners[req.client_id] != daemon_->self()) return;
+  }
+
+  // Every holder of the movie sees the same (totally ordered) request and
+  // the same table, so this choice needs no extra agreement round.
+  const std::vector<net::NodeId> servers =
+      ms.view_servers.empty() ? std::vector<net::NodeId>{daemon_->self()}
+                              : ms.view_servers;
+  const net::NodeId chosen = choose_for_new_client(ms.owners, servers);
+
+  wire::ClientRecord rec;
+  rec.client_id = req.client_id;
+  rec.data_endpoint = req.data_endpoint;
+  rec.next_frame = 0;
+  rec.rate_fps = params_.default_rate_fps;
+  rec.quality_fps = req.capability_fps;
+  rec.capability_fps = req.capability_fps;
+  ms.records[req.client_id] = rec;
+  ms.owners[req.client_id] = chosen;
+
+  if (chosen == daemon_->self()) {
+    ++stats_.sessions_opened;
+    open_session(rec, ms.movie, /*is_takeover=*/false);
+  }
+}
+
+void VodServer::on_movie_group_message(const std::string& movie,
+                                       const gcs::GcsEndpoint& from,
+                                       std::span<const std::byte> data) {
+  if (halted_) return;
+  if (wire::peek_type(data) != wire::MsgType::kStateSync) return;
+  if (auto sync = wire::decode_state_sync(data)) {
+    if (sync->movie == movie) apply_state_sync(from.node, *sync);
+  }
+}
+
+void VodServer::apply_state_sync(net::NodeId from, const wire::StateSync& s) {
+  auto it = movies_.find(s.movie);
+  if (it == movies_.end()) return;
+  MovieState& ms = *it->second;
+
+  if (s.exchange_tag != 0) {
+    // A table-exchange message for a redistribution round.
+    if (from != daemon_->self()) {
+      for (const wire::ClientRecord& rec : s.clients) {
+        ms.records[rec.client_id] = rec;
+        ms.owners[rec.client_id] = from;
+        ms.absent_counts.erase(rec.client_id);
+      }
+    }
+    if (ms.rebalance_pending && s.exchange_tag == ms.exchange_tag) {
+      ms.pending_tables.erase(from);
+      if (ms.pending_tables.empty()) rebalance_now(s.movie);
+    }
+    return;
+  }
+  if (from == daemon_->self()) return;  // own periodic sync
+
+  // The sync is the owner's authoritative client list: update its clients,
+  // and forget clients it used to own but stopped reporting. A single
+  // absence is NOT enough: a sync built just before a session opened (or
+  // during a hand-off) would otherwise erase a live client's record and
+  // orphan it. Absence must persist across two consecutive syncs.
+  std::set<std::uint64_t> reported;
+  for (const wire::ClientRecord& rec : s.clients) {
+    reported.insert(rec.client_id);
+    ms.records[rec.client_id] = rec;
+    ms.owners[rec.client_id] = from;
+    ms.absent_counts.erase(rec.client_id);
+  }
+  for (auto oit = ms.owners.begin(); oit != ms.owners.end();) {
+    if (oit->second == from && !reported.contains(oit->first)) {
+      if (++ms.absent_counts[oit->first] >= 2) {
+        ms.records.erase(oit->first);
+        ms.absent_counts.erase(oit->first);
+        oit = ms.owners.erase(oit);
+        continue;
+      }
+    }
+    ++oit;
+  }
+
+}
+
+void VodServer::on_movie_group_view(const std::string& movie,
+                                    const gcs::GroupView& v) {
+  if (halted_) return;
+  auto it = movies_.find(movie);
+  if (it == movies_.end()) return;
+  MovieState& ms = *it->second;
+  ms.view_servers = server_nodes(v);
+  ms.rebalance_pending = true;
+
+  // §5.2: "the servers first exchange information about clients, and then
+  // use it to deduce which clients each of them will serve". Each member
+  // multicasts its table tagged with this view; each member decides when it
+  // has delivered the tagged table of *every* view member. Because the
+  // tables ride the totally-ordered channel, that decision point is the
+  // same position in the message order at every member, so everyone
+  // computes the assignment from identical inputs.
+  ms.exchange_tag =
+      (v.daemon_view_counter << 20) | static_cast<std::uint64_t>(v.change_seq);
+  ms.pending_tables.clear();
+  for (net::NodeId n : ms.view_servers) {
+    if (n != daemon_->self()) ms.pending_tables.insert(n);
+  }
+
+  wire::StateSync table;
+  table.movie = movie;
+  table.exchange_tag = ms.exchange_tag;
+  for (const auto& [client, m] : session_movie_) {
+    if (m != movie) continue;
+    // Advertise the last *synced* state (see Session::synced_rec): the
+    // paper's conservative approach, so a takeover re-sends (duplicates)
+    // rather than skips frames.
+    table.clients.push_back(sessions_.at(client)->synced_rec);
+  }
+  ms.member->send(wire::encode(table));
+
+  // Fallback only for pathological cases (a member crashing mid-round is
+  // resolved by the next view change; this timer is belt and braces).
+  const std::string name = movie;
+  ms.rebalance_timer.arm(params_.table_exchange_delay,
+                         [this, name] { rebalance_now(name); });
+}
+
+void VodServer::rebalance_now(const std::string& movie) {
+  auto it = movies_.find(movie);
+  if (it == movies_.end() || halted_) return;
+  MovieState& ms = *it->second;
+  if (!ms.rebalance_pending) return;
+  ms.rebalance_pending = false;
+  ms.rebalance_timer.cancel();
+  ++stats_.rebalances;
+
+  const Assignment next = rebalance(ms.owners, ms.view_servers);
+  for (const auto& [client, owner] : next) {
+    const bool serving = sessions_.contains(client);
+    if (owner == daemon_->self() && !serving) {
+      ++stats_.takeovers;
+      util::log_info(kLog, "server n", daemon_->self(), " takes over client ",
+                     client, " at frame ", ms.records[client].next_frame);
+      open_session(ms.records[client], ms.movie, /*is_takeover=*/true);
+    } else if (owner != daemon_->self() && serving) {
+      ++stats_.migrations_out;
+      util::log_info(kLog, "server n", daemon_->self(), " hands client ",
+                     client, " to n", owner);
+      close_session(client, /*client_gone=*/false);
+    }
+  }
+  ms.owners = next;
+}
+
+// --------------------------------------------------------- session handling
+
+void VodServer::open_session(const wire::ClientRecord& rec,
+                             std::shared_ptr<const mpeg::Movie> movie,
+                             bool is_takeover) {
+  auto s = std::make_unique<Session>(*sched_, params_.emergency_decay);
+  s->rec = rec;
+  // Resume at the last-heard rate (Â§5.2), but never below the default: a
+  // takeover that resumes slower than real time can only drain the client
+  // further, and the flow-control loop would take seconds to say so.
+  if (is_takeover) {
+    s->rec.rate_fps = std::max(s->rec.rate_fps, params_.default_rate_fps);
+  }
+  s->synced_rec = s->rec;
+  s->movie = movie;
+  if (rec.quality_fps > 0.0 && rec.quality_fps < movie->fps()) {
+    s->quality.emplace(*movie, rec.quality_fps);
+  }
+  const std::uint64_t client_id = rec.client_id;
+  s->member = daemon_->join(
+      session_group_name(client_id),
+      gcs::GroupCallbacks{
+          [this, client_id](const gcs::GcsEndpoint& from,
+                            std::span<const std::byte> d) {
+            on_session_message(client_id, from, d);
+          },
+          [this, client_id](const gcs::GroupView& v) {
+            on_session_view(client_id, v);
+          }});
+  if (!is_takeover) {
+    wire::OpenReply reply{client_id, movie->name(), movie->fps(),
+                          movie->frame_count(), movie->avg_frame_bytes()};
+    s->member->send(wire::encode(reply));
+  }
+  Session& ref = *s;
+  sessions_[client_id] = std::move(s);
+  session_movie_[client_id] = movie->name();
+  if (!ref.rec.paused) arm_send_timer(ref);
+}
+
+void VodServer::close_session(std::uint64_t client_id, bool client_gone) {
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  it->second->send_timer.cancel();
+  it->second->member.reset();  // leaves the session group
+  const std::string movie = session_movie_[client_id];
+  sessions_.erase(it);
+  session_movie_.erase(client_id);
+  if (client_gone) {
+    if (auto mit = movies_.find(movie); mit != movies_.end()) {
+      mit->second->records.erase(client_id);
+      mit->second->owners.erase(client_id);
+    }
+  }
+}
+
+void VodServer::on_session_message(std::uint64_t client_id,
+                                   const gcs::GcsEndpoint& from,
+                                   std::span<const std::byte> data) {
+  if (halted_) return;
+  if (from.node == daemon_->self()) return;  // our own OpenReply
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  const auto type = wire::peek_type(data);
+  if (!type) return;
+
+  switch (*type) {
+    case wire::MsgType::kFlow: {
+      const auto m = wire::decode_flow(data);
+      if (!m || m->client_id != client_id) return;
+      // §4.1: flow-control requests are ignored during an emergency burst.
+      if (s.eq.active()) return;
+      s.rec.rate_fps =
+          std::clamp(s.rec.rate_fps + m->delta * params_.rate_step_fps,
+                     params_.min_rate_fps, params_.max_rate_fps);
+      break;
+    }
+    case wire::MsgType::kEmergency: {
+      const auto m = wire::decode_emergency(data);
+      if (!m || m->client_id != client_id) return;
+      // §4.1: while the emergency quantity is greater than zero, the server
+      // ignores all flow control requests — including repeated emergencies,
+      // which would otherwise re-inflate the burst and overflow the client.
+      // §4.1: while the emergency quantity is greater than zero, the
+      // server ignores repeated requests of the same (or lesser) severity —
+      // a re-send would re-inflate the burst and overflow the client. An
+      // *escalation* (tier 2 worsening into tier 1, e.g. the software
+      // buffer emptying completely while a small burst is under way) is
+      // accepted: the situation became critical.
+      {
+        const int q =
+            m->tier == 1 ? params_.emergency_q1 : params_.emergency_q2;
+        if (s.eq.active() && q <= s.burst_base) return;
+        const bool was_active = s.eq.active();
+        s.eq.trigger(q);
+        s.burst_base = q;
+        if (!was_active) {
+          s.next_decay_at = sched_->now() + params_.emergency_decay_period;
+        }
+      }
+      // Refill starts immediately at the boosted rate.
+      if (!s.rec.paused && !s.finished) arm_send_timer(s);
+      break;
+    }
+    case wire::MsgType::kVcr: {
+      const auto m = wire::decode_vcr(data);
+      if (!m || m->client_id != client_id) return;
+      switch (m->op) {
+        case wire::VcrOp::kPause:
+          s.rec.paused = true;
+          s.send_timer.cancel();
+          break;
+        case wire::VcrOp::kResume:
+          s.rec.paused = false;
+          if (!s.finished) arm_send_timer(s);
+          break;
+        case wire::VcrOp::kSeek:
+          s.rec.next_frame =
+              std::min(m->seek_frame, s.movie->frame_count() - 1);
+          s.finished = false;
+          if (!s.rec.paused) arm_send_timer(s);
+          break;
+        case wire::VcrOp::kStop:
+          close_session(client_id, /*client_gone=*/true);
+          return;
+      }
+      break;
+    }
+    case wire::MsgType::kSetQuality: {
+      const auto m = wire::decode_set_quality(data);
+      if (!m || m->client_id != client_id) return;
+      s.rec.quality_fps = m->fps;
+      if (m->fps > 0.0 && m->fps < s.movie->fps()) {
+        s.quality.emplace(*s.movie, m->fps);
+      } else {
+        s.quality.reset();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void VodServer::on_session_view(std::uint64_t client_id,
+                                const gcs::GroupView& v) {
+  if (halted_) return;
+  // When the only members left are our own endpoints, the client has left:
+  // tear the session down.
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  const bool client_present =
+      std::any_of(v.members.begin(), v.members.end(),
+                  [&](const gcs::GcsEndpoint& e) {
+                    return e.node != daemon_->self();
+                  });
+  if (!client_present && v.daemon_view_counter > 0 && !v.members.empty()) {
+    // Only react when the view is non-trivial: the client may simply not
+    // have joined yet right after takeover; distinguish via record age is
+    // overkill here — a client that never joins sends nothing and times out
+    // with the whole group when it leaves.
+    if (v.members.size() == 1 && v.members[0].node == daemon_->self() &&
+        it->second->rec.next_frame > 0) {
+      util::log_info(kLog, "client ", client_id, " left; closing session");
+      close_session(client_id, /*client_gone=*/true);
+    }
+  }
+}
+
+// -------------------------------------------------------------- data plane
+
+double VodServer::effective_rate(const Session& s) const {
+  double rate = std::clamp(s.rec.rate_fps, params_.min_rate_fps,
+                           params_.max_rate_fps);
+  if (s.quality) {
+    // The tick rate must equal the filter's actual kept-frame rate, or the
+    // movie would play too fast/slow (each tick advances past the frames
+    // the filter skips).
+    rate = std::min(rate, s.quality->effective_fps(s.movie->fps()));
+  }
+  rate += s.eq.quantity();
+  return std::min(rate, params_.max_rate_fps + params_.emergency_q1);
+}
+
+void VodServer::arm_send_timer(Session& s) {
+  const double rate = effective_rate(s);
+  const auto period = static_cast<sim::Duration>(1e6 / rate);
+  const std::uint64_t client_id = s.rec.client_id;
+  s.send_timer.arm(period, [this, client_id] { send_tick(client_id); });
+}
+
+void VodServer::send_tick(std::uint64_t client_id) {
+  if (halted_) return;
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  if (s.rec.paused || s.finished) return;
+
+  // Emergency decay is evaluated on the send path (§4.1: once per second).
+  while (s.eq.active() && sched_->now() >= s.next_decay_at) {
+    s.eq.decay_step();
+    s.next_decay_at += params_.emergency_decay_period;
+  }
+
+  // Quality adaptation: transmit only the frames the filter keeps (all I
+  // frames plus as many P/B as the client's capability allows).
+  while (s.rec.next_frame < s.movie->frame_count() && s.quality &&
+         !s.quality->should_send(s.rec.next_frame)) {
+    ++s.rec.next_frame;
+  }
+  if (s.rec.next_frame >= s.movie->frame_count()) {
+    s.finished = true;
+    return;
+  }
+
+  const mpeg::FrameInfo frame = s.movie->frame(s.rec.next_frame);
+  wire::Frame msg{client_id, frame.index, frame.type, frame.size_bytes};
+  const util::Bytes payload = wire::encode(msg);
+  const std::size_t padding =
+      frame.size_bytes > payload.size() ? frame.size_bytes - payload.size()
+                                        : 0;
+  data_socket_->send(s.rec.data_endpoint, payload, padding);
+  ++stats_.frames_sent;
+  ++s.rec.next_frame;
+  arm_send_timer(s);
+}
+
+void VodServer::send_sync() {
+  if (halted_) return;
+  for (auto& [name, ms] : movies_) {
+    wire::StateSync sync;
+    sync.movie = name;
+    for (const auto& [client, movie] : session_movie_) {
+      if (movie != name) continue;
+      Session& s = *sessions_.at(client);
+      s.synced_rec = s.rec;  // checkpoint: what the group now knows
+      sync.clients.push_back(s.rec);
+    }
+    ms->member->send(wire::encode(sync));
+    ++stats_.syncs_sent;
+  }
+}
+
+}  // namespace ftvod::vod

@@ -1,0 +1,160 @@
+// The VoD server (§3, §5). One per host. Movies are added to its catalog on
+// the fly; for each movie it joins the movie group and shares its clients'
+// positions every sync period. On every movie-group view change the
+// surviving servers deterministically re-distribute the clients
+// (redistribution.hpp) and the new owner of a client simply joins the
+// client's session group and resumes transmission from the last-synced
+// offset — the client never learns which server is sending.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "gcs/daemon.hpp"
+#include "mpeg/catalog.hpp"
+#include "mpeg/quality.hpp"
+#include "net/network.hpp"
+#include "sim/timer.hpp"
+#include "vod/emergency.hpp"
+#include "vod/params.hpp"
+#include "vod/redistribution.hpp"
+#include "vod/wire.hpp"
+
+namespace ftvod::vod {
+
+struct ServerStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t sessions_opened = 0;   // fresh client connections
+  std::uint64_t takeovers = 0;         // sessions adopted from another server
+  std::uint64_t migrations_out = 0;    // sessions handed to another server
+  std::uint64_t syncs_sent = 0;
+  std::uint64_t rebalances = 0;
+};
+
+class VodServer {
+ public:
+  VodServer(sim::Scheduler& sched, net::Network& net, gcs::Daemon& daemon,
+            VodParams params);
+  ~VodServer() = default;
+  VodServer(const VodServer&) = delete;
+  VodServer& operator=(const VodServer&) = delete;
+
+  /// Stores a movie locally and joins its movie group ("replication done").
+  void add_movie(std::shared_ptr<const mpeg::Movie> movie);
+  /// Drops a movie: existing sessions migrate away at the next view change.
+  void remove_movie(const std::string& name);
+
+  [[nodiscard]] net::NodeId node() const { return daemon_->self(); }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] bool serves(std::uint64_t client_id) const {
+    return sessions_.contains(client_id);
+  }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const net::SocketStats& data_socket_stats() const {
+    return data_socket_->stats();
+  }
+  [[nodiscard]] const mpeg::Catalog& catalog() const { return catalog_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Graceful detach (§3: a server "crashes or detaches"): leaves the
+  /// server group and every movie group, so the remaining servers observe
+  /// an orderly membership change and take the clients over *without*
+  /// waiting for failure detection. Sessions are closed after the groups
+  /// are left. The server can not be re-attached; start a new one.
+  void detach();
+
+  /// Hard stop: ceases all activity without leaving groups (also wired to
+  /// host crash; peers discover the failure via the failure detector).
+  void halt();
+
+ private:
+  struct Session {
+    Session(sim::Scheduler& sched, double decay)
+        : eq(decay), send_timer(sched) {}
+    wire::ClientRecord rec;
+    /// Snapshot of rec as of the last periodic sync: the state the rest of
+    /// the movie group is known to have. Table exchanges advertise this,
+    /// not the live offset — the paper's conservative approach, which makes
+    /// a takeover re-send (duplicate) rather than skip frames.
+    wire::ClientRecord synced_rec;
+    std::shared_ptr<const mpeg::Movie> movie;
+    std::unique_ptr<gcs::GroupMember> member;  // session group
+    std::optional<mpeg::QualityFilter> quality;
+    EmergencyQuantity eq;
+    /// Base quantity of the burst in progress (escalation gate).
+    int burst_base = 0;
+    sim::OneShotTimer send_timer;
+    /// The emergency quantity decays when the send loop passes this time.
+    sim::Time next_decay_at = 0;
+    bool finished = false;  // reached the end of the movie
+  };
+
+  struct MovieState {
+    explicit MovieState(sim::Scheduler& sched) : rebalance_timer(sched) {}
+    std::shared_ptr<const mpeg::Movie> movie;
+    std::unique_ptr<gcs::GroupMember> member;  // movie group
+    /// Last-synced record per client watching this movie (self + remote).
+    std::map<std::uint64_t, wire::ClientRecord> records;
+    /// Last known owner per client.
+    Assignment owners;
+    /// Consecutive owner-syncs that failed to report a client.
+    std::map<std::uint64_t, int> absent_counts;
+    /// Redistribution round state for the current group view. A round is
+    /// identified by the exchange tag (derived from the group view); every
+    /// member rebalances when it has delivered the tagged table of every
+    /// view member — the same point of the total order at all members.
+    std::vector<net::NodeId> view_servers;
+    std::uint64_t exchange_tag = 0;
+    std::set<net::NodeId> pending_tables;
+    bool rebalance_pending = false;
+    sim::OneShotTimer rebalance_timer;
+  };
+
+  // control-plane handlers
+  void on_server_group_message(const gcs::GcsEndpoint& from,
+                               std::span<const std::byte> data);
+  void on_movie_group_message(const std::string& movie,
+                              const gcs::GcsEndpoint& from,
+                              std::span<const std::byte> data);
+  void on_movie_group_view(const std::string& movie, const gcs::GroupView& v);
+  void on_session_message(std::uint64_t client_id,
+                          const gcs::GcsEndpoint& from,
+                          std::span<const std::byte> data);
+  void on_session_view(std::uint64_t client_id, const gcs::GroupView& v);
+
+  void handle_open_request(const wire::OpenRequest& req);
+  void apply_state_sync(net::NodeId from, const wire::StateSync& sync);
+  void rebalance_now(const std::string& movie);
+
+  // session lifecycle
+  void open_session(const wire::ClientRecord& rec,
+                    std::shared_ptr<const mpeg::Movie> movie,
+                    bool is_takeover);
+  void close_session(std::uint64_t client_id, bool client_gone);
+  void send_tick(std::uint64_t client_id);
+  void arm_send_timer(Session& s);
+  void send_sync();
+
+  [[nodiscard]] double effective_rate(const Session& s) const;
+
+  sim::Scheduler* sched_;
+  net::Network* net_;
+  gcs::Daemon* daemon_;
+  VodParams params_;
+  bool halted_ = false;
+
+  mpeg::Catalog catalog_;
+  std::unique_ptr<net::Socket> data_socket_;
+  std::unique_ptr<gcs::GroupMember> server_group_;
+  std::map<std::string, std::unique_ptr<MovieState>> movies_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::map<std::uint64_t, std::string> session_movie_;  // client -> movie
+
+  sim::PeriodicTimer sync_timer_;
+  ServerStats stats_;
+};
+
+}  // namespace ftvod::vod

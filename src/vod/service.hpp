@@ -1,0 +1,95 @@
+// Convenience assembly of a complete VoD deployment inside one simulation:
+// hosts, GCS daemons, servers and clients. This is the entry point the
+// examples and benchmarks use; library users who need finer control can
+// instantiate VodServer / VodClient / gcs::Daemon directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs/daemon.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "vod/client.hpp"
+#include "vod/params.hpp"
+#include "vod/server.hpp"
+
+namespace ftvod::vod {
+
+/// One simulated deployment: a network, a GCS configuration spanning all
+/// hosts, and any number of servers and clients created on demand.
+class Deployment {
+ public:
+  explicit Deployment(std::uint64_t seed = 42,
+                      net::LinkQuality quality = net::lan_quality(),
+                      VodParams params = {})
+      : rng_(seed), net_(sched_, rng_), params_(params) {
+    net_.set_default_quality(quality);
+  }
+
+  struct ServerNode {
+    net::NodeId node;
+    std::unique_ptr<gcs::Daemon> daemon;
+    std::unique_ptr<VodServer> server;
+  };
+
+  struct ClientNode {
+    net::NodeId node;
+    std::unique_ptr<gcs::Daemon> daemon;
+    std::unique_ptr<VodClient> client;
+  };
+
+  /// Pre-registers a host so the GCS peer list covers servers brought up
+  /// later ("on the fly"). Call for all hosts before creating any daemon.
+  net::NodeId add_host(const std::string& name) {
+    const net::NodeId id = net_.add_host(name);
+    gcs_cfg_.peers.push_back(id);
+    return id;
+  }
+
+  ServerNode& start_server(net::NodeId node) {
+    auto sn = std::make_unique<ServerNode>();
+    sn->node = node;
+    sn->daemon = std::make_unique<gcs::Daemon>(sched_, net_, node, gcs_cfg_);
+    sn->server =
+        std::make_unique<VodServer>(sched_, net_, *sn->daemon, params_);
+    servers_.push_back(std::move(sn));
+    return *servers_.back();
+  }
+
+  ClientNode& start_client(net::NodeId node) {
+    auto cn = std::make_unique<ClientNode>();
+    cn->node = node;
+    cn->daemon = std::make_unique<gcs::Daemon>(sched_, net_, node, gcs_cfg_);
+    cn->client =
+        std::make_unique<VodClient>(sched_, net_, *cn->daemon, params_);
+    clients_.push_back(std::move(cn));
+    return *clients_.back();
+  }
+
+  void crash(net::NodeId node) { net_.crash_host(node); }
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return net_; }
+  util::Rng& rng() { return rng_; }
+  const VodParams& params() const { return params_; }
+  gcs::GcsConfig& gcs_config() { return gcs_cfg_; }
+  std::vector<std::unique_ptr<ServerNode>>& servers() { return servers_; }
+  std::vector<std::unique_ptr<ClientNode>>& clients() { return clients_; }
+
+  void run_for(sim::Duration d) { sched_.run_for(d); }
+  void run_until(sim::Time t) { sched_.run_until(t); }
+
+ private:
+  sim::Scheduler sched_;
+  util::Rng rng_;
+  net::Network net_;
+  VodParams params_;
+  gcs::GcsConfig gcs_cfg_;
+  std::vector<std::unique_ptr<ServerNode>> servers_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+};
+
+}  // namespace ftvod::vod

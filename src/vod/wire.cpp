@@ -1,0 +1,219 @@
+#include "vod/wire.hpp"
+
+namespace ftvod::vod::wire {
+
+namespace {
+
+util::Writer header(MsgType t) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(t));
+  return w;
+}
+
+std::optional<util::Reader> body(std::span<const std::byte> data, MsgType t) {
+  util::Reader r(data);
+  if (r.u8() != static_cast<std::uint8_t>(t) || !r.ok()) return std::nullopt;
+  return r;
+}
+
+void put_endpoint(util::Writer& w, const net::Endpoint& e) {
+  w.u32(e.node);
+  w.u16(e.port);
+}
+
+net::Endpoint get_endpoint(util::Reader& r) {
+  net::Endpoint e;
+  e.node = r.u32();
+  e.port = r.u16();
+  return e;
+}
+
+}  // namespace
+
+std::optional<MsgType> peek_type(std::span<const std::byte> data) {
+  if (data.empty()) return std::nullopt;
+  const auto t = std::to_integer<std::uint8_t>(data[0]);
+  if (t < static_cast<std::uint8_t>(MsgType::kOpenRequest) ||
+      t > static_cast<std::uint8_t>(MsgType::kFrame)) {
+    return std::nullopt;
+  }
+  return static_cast<MsgType>(t);
+}
+
+util::Bytes encode(const OpenRequest& m) {
+  util::Writer w = header(MsgType::kOpenRequest);
+  w.u64(m.client_id);
+  w.str(m.movie);
+  put_endpoint(w, m.data_endpoint);
+  w.f64(m.capability_fps);
+  return w.take();
+}
+
+std::optional<OpenRequest> decode_open_request(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kOpenRequest);
+  if (!r) return std::nullopt;
+  OpenRequest m;
+  m.client_id = r->u64();
+  m.movie = r->str();
+  m.data_endpoint = get_endpoint(*r);
+  m.capability_fps = r->f64();
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const OpenReply& m) {
+  util::Writer w = header(MsgType::kOpenReply);
+  w.u64(m.client_id);
+  w.str(m.movie);
+  w.f64(m.fps);
+  w.u64(m.frame_count);
+  w.u32(m.avg_frame_bytes);
+  return w.take();
+}
+
+std::optional<OpenReply> decode_open_reply(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kOpenReply);
+  if (!r) return std::nullopt;
+  OpenReply m;
+  m.client_id = r->u64();
+  m.movie = r->str();
+  m.fps = r->f64();
+  m.frame_count = r->u64();
+  m.avg_frame_bytes = r->u32();
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const Flow& m) {
+  util::Writer w = header(MsgType::kFlow);
+  w.u64(m.client_id);
+  w.u8(static_cast<std::uint8_t>(m.delta));
+  return w.take();
+}
+
+std::optional<Flow> decode_flow(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kFlow);
+  if (!r) return std::nullopt;
+  Flow m;
+  m.client_id = r->u64();
+  m.delta = static_cast<std::int8_t>(r->u8());
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const Emergency& m) {
+  util::Writer w = header(MsgType::kEmergency);
+  w.u64(m.client_id);
+  w.u8(m.tier);
+  return w.take();
+}
+
+std::optional<Emergency> decode_emergency(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kEmergency);
+  if (!r) return std::nullopt;
+  Emergency m;
+  m.client_id = r->u64();
+  m.tier = r->u8();
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const Vcr& m) {
+  util::Writer w = header(MsgType::kVcr);
+  w.u64(m.client_id);
+  w.u8(static_cast<std::uint8_t>(m.op));
+  w.u64(m.seek_frame);
+  return w.take();
+}
+
+std::optional<Vcr> decode_vcr(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kVcr);
+  if (!r) return std::nullopt;
+  Vcr m;
+  m.client_id = r->u64();
+  m.op = static_cast<VcrOp>(r->u8());
+  m.seek_frame = r->u64();
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const SetQuality& m) {
+  util::Writer w = header(MsgType::kSetQuality);
+  w.u64(m.client_id);
+  w.f64(m.fps);
+  return w.take();
+}
+
+std::optional<SetQuality> decode_set_quality(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kSetQuality);
+  if (!r) return std::nullopt;
+  SetQuality m;
+  m.client_id = r->u64();
+  m.fps = r->f64();
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const StateSync& m) {
+  util::Writer w = header(MsgType::kStateSync);
+  w.str(m.movie);
+  w.u64(m.exchange_tag);
+  w.u32(static_cast<std::uint32_t>(m.clients.size()));
+  for (const ClientRecord& c : m.clients) {
+    w.u64(c.client_id);
+    put_endpoint(w, c.data_endpoint);
+    w.u64(c.next_frame);
+    w.f64(c.rate_fps);
+    w.f64(c.quality_fps);
+    w.f64(c.capability_fps);
+    w.boolean(c.paused);
+  }
+  return w.take();
+}
+
+std::optional<StateSync> decode_state_sync(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kStateSync);
+  if (!r) return std::nullopt;
+  StateSync m;
+  m.movie = r->str();
+  m.exchange_tag = r->u64();
+  const std::uint32_t n = r->u32();
+  if (!r->ok() || n > 1'000'000) return std::nullopt;
+  m.clients.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClientRecord c;
+    c.client_id = r->u64();
+    c.data_endpoint = get_endpoint(*r);
+    c.next_frame = r->u64();
+    c.rate_fps = r->f64();
+    c.quality_fps = r->f64();
+    c.capability_fps = r->f64();
+    c.paused = r->boolean();
+    m.clients.push_back(c);
+  }
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+util::Bytes encode(const Frame& m) {
+  util::Writer w = header(MsgType::kFrame);
+  w.u64(m.client_id);
+  w.u64(m.frame_index);
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.u32(m.size_bytes);
+  return w.take();
+}
+
+std::optional<Frame> decode_frame(std::span<const std::byte> d) {
+  auto r = body(d, MsgType::kFrame);
+  if (!r) return std::nullopt;
+  Frame m;
+  m.client_id = r->u64();
+  m.frame_index = r->u64();
+  m.type = static_cast<mpeg::FrameType>(r->u8());
+  m.size_bytes = r->u32();
+  if (!r->done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace ftvod::vod::wire

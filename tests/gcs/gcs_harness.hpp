@@ -1,0 +1,134 @@
+// Shared in-simulation harness for GCS tests: N hosts each running one
+// daemon, plus helpers to run until views converge and to record what
+// application members observe.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs/daemon.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ftvod::gcs::testing {
+
+class GcsHarness {
+ public:
+  explicit GcsHarness(int n, net::LinkQuality quality = net::lan_quality(),
+                      std::uint64_t seed = 42)
+      : rng_(seed), net_(sched_, rng_) {
+    net_.set_default_quality(quality);
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(net_.add_host("host" + std::to_string(i)));
+    }
+    cfg_.peers = nodes_;
+    daemons_.resize(n);
+  }
+
+  /// Starts the daemon on host i (idempotent).
+  Daemon& start(int i) {
+    if (!daemons_[i]) {
+      daemons_[i] = std::make_unique<Daemon>(sched_, net_, nodes_[i], cfg_);
+    }
+    return *daemons_[i];
+  }
+
+  void start_all() {
+    for (std::size_t i = 0; i < daemons_.size(); ++i) start(static_cast<int>(i));
+  }
+
+  void crash(int i) { net_.crash_host(nodes_[i]); }
+
+  Daemon& daemon(int i) { return *daemons_[i]; }
+  net::Network& network() { return net_; }
+  sim::Scheduler& scheduler() { return sched_; }
+  GcsConfig& config() { return cfg_; }
+  net::NodeId node(int i) const { return nodes_[i]; }
+
+  void run_for(sim::Duration d) { sched_.run_for(d); }
+
+  /// True when every *running, alive* daemon is unblocked and has the same
+  /// view containing exactly the alive running daemons.
+  [[nodiscard]] bool converged() const {
+    std::vector<net::NodeId> alive;
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      if (daemons_[i] && !daemons_[i]->halted() && net_.alive(nodes_[i])) {
+        alive.push_back(nodes_[i]);
+      }
+    }
+    if (alive.empty()) return true;
+    const Daemon* first = nullptr;
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      if (!daemons_[i] || daemons_[i]->halted() || !net_.alive(nodes_[i])) {
+        continue;
+      }
+      const Daemon& d = *daemons_[i];
+      if (d.blocked()) return false;
+      if (d.view().members != alive) return false;
+      if (first == nullptr) {
+        first = &d;
+      } else if (d.view().id != first->view().id) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Runs until converged() or the timeout elapses; returns success.
+  bool run_until_converged(sim::Duration timeout = sim::sec(10)) {
+    const sim::Time deadline = sched_.now() + timeout;
+    while (sched_.now() < deadline) {
+      if (converged()) return true;
+      sched_.run_for(sim::msec(20));
+    }
+    return converged();
+  }
+
+ private:
+  sim::Scheduler sched_;
+  util::Rng rng_;
+  net::Network net_;
+  std::vector<net::NodeId> nodes_;
+  GcsConfig cfg_;
+  std::vector<std::unique_ptr<Daemon>> daemons_;
+};
+
+/// Records everything one group member observes.
+struct Listener {
+  struct Msg {
+    GcsEndpoint from;
+    std::string text;
+  };
+  std::vector<Msg> messages;
+  std::vector<GroupView> views;
+
+  GroupCallbacks callbacks() {
+    return GroupCallbacks{
+        [this](const GcsEndpoint& from, std::span<const std::byte> data) {
+          messages.push_back(
+              {from, std::string(reinterpret_cast<const char*>(data.data()),
+                                 data.size())});
+        },
+        [this](const GroupView& v) { views.push_back(v); }};
+  }
+
+  [[nodiscard]] std::vector<std::string> texts() const {
+    std::vector<std::string> out;
+    out.reserve(messages.size());
+    for (const Msg& m : messages) out.push_back(m.text);
+    return out;
+  }
+};
+
+inline util::Bytes text_msg(std::string_view s) {
+  util::Bytes b;
+  b.reserve(s.size());
+  for (char c : s) b.push_back(static_cast<std::byte>(c));
+  return b;
+}
+
+}  // namespace ftvod::gcs::testing

@@ -1,0 +1,89 @@
+// Graceful detach (§3: "when a server crashes or detaches"): the server
+// leaves its groups in an orderly way, so migration happens without the
+// failure-detection delay and with a fresh final state sync.
+#include <gtest/gtest.h>
+
+#include "vod_testbed.hpp"
+
+namespace ftvod::vod {
+namespace {
+
+using testing::VodTestBed;
+
+TEST(Detach, ClientsMigrateToSurvivor) {
+  VodTestBed bed(2, 1);
+  bed.watch_all();
+  bed.run_for(15.0);
+  const int serving = bed.serving_server();
+  const int other = 1 - serving;
+
+  bed.server(serving).detach();
+  bed.run_for(4.0);
+  EXPECT_TRUE(bed.server(other).serves(bed.client().client_id()));
+  EXPECT_GE(bed.server(other).stats().takeovers, 1u);
+  EXPECT_TRUE(bed.server(serving).halted());
+  EXPECT_EQ(bed.server(serving).session_count(), 0u);
+}
+
+TEST(Detach, SmootherThanCrash) {
+  // A graceful detach sends a final fresh sync and skips failure
+  // detection: the transition costs fewer duplicates and a shallower
+  // buffer dip than a crash of the same server.
+  auto measure = [](bool graceful) {
+    VodTestBed bed(2, 1, net::lan_quality(), 31);
+    bed.watch_all();
+    bed.run_for(20.0);
+    const auto before = bed.client().counters();
+    const int serving = bed.serving_server();
+    if (graceful) {
+      bed.server(serving).detach();
+    } else {
+      bed.crash_server(serving);
+    }
+    bed.run_for(12.0);
+    const auto after = bed.client().counters();
+    return after.late - before.late;
+  };
+  const auto dups_detach = measure(true);
+  const auto dups_crash = measure(false);
+  EXPECT_LT(dups_detach, dups_crash);
+}
+
+TEST(Detach, NoStarvationOrSkips) {
+  VodTestBed bed(2, 1);
+  bed.watch_all();
+  bed.run_for(20.0);
+  const auto before = bed.client().counters();
+  bed.server(bed.serving_server()).detach();
+  bed.run_for(12.0);
+  const auto after = bed.client().counters();
+  EXPECT_EQ(after.starvation_ticks - before.starvation_ticks, 0u);
+  EXPECT_LE(after.skipped - before.skipped, 8u);
+  EXPECT_GT(after.displayed - before.displayed, 300u);
+}
+
+TEST(Detach, LastReplicaDetachingStrandsClients) {
+  // Detaching the only replica is still a service loss — detach is
+  // graceful, not magical. The client starves until nothing else helps.
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  bed.server(0).detach();
+  bed.run_for(10.0);
+  EXPECT_GT(bed.client().counters().starvation_ticks, 0u);
+}
+
+TEST(Detach, IdempotentAndAfterCrashSafe) {
+  VodTestBed bed(2, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  bed.server(0).detach();
+  bed.server(0).detach();  // no-op
+  EXPECT_TRUE(bed.server(0).halted());
+  bed.crash_server(1);     // crash the other; nothing to serve, no crash
+  bed.run_for(2.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ftvod::vod

@@ -1,0 +1,132 @@
+// Scale and partition integration: many clients, multiple movies across
+// overlapping replica sets, and network partitions between servers.
+#include <gtest/gtest.h>
+
+#include "vod_testbed.hpp"
+
+namespace ftvod::vod {
+namespace {
+
+using testing::VodTestBed;
+
+TEST(Scale, NineClientsThreeServers) {
+  VodTestBed bed(3, 9);
+  bed.watch_all();
+  bed.run_for(15.0);
+  std::size_t total = 0;
+  for (int s = 0; s < 3; ++s) {
+    const std::size_t n = bed.server(s).session_count();
+    EXPECT_EQ(n, 3u) << "server " << s;  // perfectly balanced
+    total += n;
+  }
+  EXPECT_EQ(total, 9u);
+  for (int c = 0; c < 9; ++c) {
+    EXPECT_TRUE(bed.client(c).connected()) << c;
+    EXPECT_GT(bed.client(c).counters().displayed, 300u) << c;
+  }
+}
+
+TEST(Scale, CrashWithManyClientsRedistributesAll) {
+  VodTestBed bed(3, 6);
+  bed.watch_all();
+  bed.run_for(15.0);
+  bed.crash_server(0);
+  bed.run_for(8.0);
+  // All six clients still served, balanced 3/3 across the survivors.
+  std::size_t s1 = bed.server(1).session_count();
+  std::size_t s2 = bed.server(2).session_count();
+  EXPECT_EQ(s1 + s2, 6u);
+  EXPECT_LE(s1 > s2 ? s1 - s2 : s2 - s1, 1u);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(bed.client(c).counters().starvation_ticks, 0u) << c;
+  }
+}
+
+TEST(Scale, TwoMoviesOverlappingReplicaSets) {
+  // Servers 0,1 hold "feature" (from the bed); server 1 additionally gets
+  // "indie". Clients split across the titles; failures of server 1 move
+  // its "feature" clients to 0 but leave "indie" clients orphaned until…
+  // there is no other replica, which is exactly k-1 = 0 tolerance.
+  VodTestBed bed(2, 2);
+  auto indie = mpeg::Movie::synthetic("indie", 300.0);
+  bed.server(1).add_movie(indie);
+  bed.run_for(1.0);
+  bed.client(0).watch("feature");
+  bed.client(1).watch("indie");
+  bed.run_for(8.0);
+  ASSERT_TRUE(bed.client(0).connected());
+  ASSERT_TRUE(bed.client(1).connected());
+  EXPECT_TRUE(bed.server(1).serves(bed.client(1).client_id()));
+
+  bed.crash_server(1);
+  bed.run_for(8.0);
+  // "feature" is replicated: its client survives regardless of who served.
+  EXPECT_TRUE(bed.server(0).serves(bed.client(0).client_id()) ||
+              bed.client(0).counters().displayed > 200);
+  // "indie" had one replica: its client starves (k-1 = 0 failures).
+  EXPECT_GT(bed.client(1).counters().starvation_ticks, 0u);
+}
+
+TEST(Scale, ServerPartitionHealsAndRebalances) {
+  VodTestBed bed(2, 1);
+  bed.watch_all();
+  bed.run_for(12.0);
+  const int serving = bed.serving_server();
+  // Partition the two servers from each other; the client stays with its
+  // server's side, so playback continues.
+  const auto& dep_servers = bed.deployment().servers();
+  bed.deployment().network().partition(
+      {{dep_servers[serving]->node,
+        bed.deployment().clients()[0]->node},
+       {dep_servers[1 - serving]->node}});
+  const auto before = bed.client().counters().displayed;
+  bed.run_for(8.0);
+  EXPECT_GT(bed.client().counters().displayed - before, 200u);
+
+  bed.deployment().network().heal();
+  bed.run_for(8.0);
+  // After healing, exactly one server serves the client.
+  int owners = 0;
+  for (int s = 0; s < 2; ++s) {
+    if (bed.server(s).serves(bed.client().client_id())) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+  EXPECT_EQ(bed.client().counters().starvation_ticks, 0u);
+}
+
+TEST(Scale, ClientCutOffFromAllServersStarvesThenRecovers) {
+  VodTestBed bed(2, 1);
+  bed.watch_all();
+  bed.run_for(12.0);
+  // Isolate the client from everything for 4 s: longer than its buffers.
+  bed.deployment().network().partition(
+      {{bed.deployment().clients()[0]->node}});
+  bed.run_for(4.0);
+  EXPECT_GT(bed.client().counters().starvation_ticks, 10u);
+
+  bed.deployment().network().heal();
+  bed.run_for(18.0);  // GCS merge + reconnect timeout + refill
+  const auto before = bed.client().counters().displayed;
+  bed.run_for(5.0);
+  // Display is running again at full rate.
+  EXPECT_GT(bed.client().counters().displayed - before, 120u);
+}
+
+TEST(Scale, ManyClientsSurviveSequentialCrashes) {
+  VodTestBed bed(3, 4);
+  bed.watch_all();
+  bed.run_for(15.0);
+  bed.crash_server(2);
+  bed.run_for(10.0);
+  bed.crash_server(1);
+  bed.run_for(10.0);
+  EXPECT_EQ(bed.server(0).session_count(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(bed.client(c).playing()) << c;
+    // Two takeovers each at worst; the display never froze.
+    EXPECT_EQ(bed.client(c).counters().starvation_ticks, 0u) << c;
+  }
+}
+
+}  // namespace
+}  // namespace ftvod::vod

@@ -1,0 +1,162 @@
+// VCR control (§3) and quality adaptation (§4.3) through the full stack,
+// plus WAN behaviour (§6.2).
+#include <gtest/gtest.h>
+
+#include "vod_testbed.hpp"
+
+namespace ftvod::vod {
+namespace {
+
+using testing::VodTestBed;
+
+TEST(Vcr, PauseStopsDisplayAndTransmission) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  bed.client().pause();
+  bed.run_for(1.0);  // let the pause propagate
+  const auto displayed = bed.client().counters().displayed;
+  const auto sent = bed.server(0).stats().frames_sent;
+  bed.run_for(10.0);
+  EXPECT_EQ(bed.client().counters().displayed, displayed);
+  // Transmission stops too (a few in-flight frames allowed).
+  EXPECT_LE(bed.server(0).stats().frames_sent - sent, 3u);
+}
+
+TEST(Vcr, ResumeContinuesWhereItPaused) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  bed.client().pause();
+  bed.run_for(5.0);
+  const std::int64_t at = bed.client().buffers()->last_displayed();
+  bed.client().resume();
+  bed.run_for(5.0);
+  const std::int64_t now = bed.client().buffers()->last_displayed();
+  EXPECT_GT(now, at);
+  EXPECT_LT(now, at + 200);  // no jump
+  // Nothing skipped beyond the usual startup overflow handful.
+  EXPECT_LT(bed.client().counters().skipped, 10u);
+}
+
+TEST(Vcr, SeekJumpsForward) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  bed.client().seek(6000);  // jump to minute 3+
+  bed.run_for(8.0);
+  const std::int64_t shown = bed.client().buffers()->last_displayed();
+  EXPECT_GE(shown, 6000);
+  EXPECT_LT(shown, 6000 + 400);
+  EXPECT_TRUE(bed.client().playing());
+}
+
+TEST(Vcr, SeekBackward) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(15.0);
+  ASSERT_GT(bed.client().buffers()->last_displayed(), 200);
+  bed.client().seek(0);
+  bed.run_for(8.0);
+  const std::int64_t shown = bed.client().buffers()->last_displayed();
+  EXPECT_LT(shown, 400);  // re-watching from the start
+}
+
+TEST(Vcr, SeekTriggersEmergencyRefill) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(20.0);
+  const auto before = bed.client().control_stats().emergencies_sent;
+  bed.client().seek(8000);
+  bed.run_for(5.0);
+  // §4.1: random access empties the buffers -> an emergency situation.
+  EXPECT_GT(bed.client().control_stats().emergencies_sent, before);
+  EXPECT_GT(bed.client().buffers()->total_frames(), 10u);
+}
+
+TEST(Vcr, PauseWhileMigrating) {
+  VodTestBed bed(2, 1);
+  bed.watch_all();
+  bed.run_for(15.0);
+  bed.client().pause();
+  bed.run_for(1.0);
+  bed.crash_server(bed.serving_server());
+  bed.run_for(5.0);
+  // The takeover server restores the paused state from the synced record.
+  const auto displayed = bed.client().counters().displayed;
+  bed.run_for(5.0);
+  EXPECT_EQ(bed.client().counters().displayed, displayed);
+  bed.client().resume();
+  bed.run_for(8.0);
+  EXPECT_GT(bed.client().counters().displayed, displayed + 100);
+}
+
+TEST(Quality, ReducedRateClientGetsAllIFrames) {
+  VodTestBed bed(1, 1);
+  bed.watch_all(/*capability_fps=*/10.0);
+  bed.run_for(20.0);
+  ASSERT_TRUE(bed.client().connected());
+  // Steady state (after the startup burst decays): ~10 frames per second.
+  const auto at_20s = bed.client().counters().received;
+  bed.run_for(10.0);
+  const auto received = bed.client().counters().received - at_20s;
+  EXPECT_NEAR(static_cast<double>(received), 100.0, 30.0);
+  // The server never skipped an I frame: at 10/30 fps the filter keeps the
+  // I and P frames; displayed indices must include every GOP's I frame.
+  EXPECT_GT(bed.client().counters().displayed, 100u);
+}
+
+TEST(Quality, MidStreamQualityChange) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  const auto full_rate_received = bed.client().counters().received;
+  bed.client().set_quality(10.0);
+  bed.run_for(10.0);
+  const auto after = bed.client().counters().received;
+  // Reception rate drops to roughly a third.
+  EXPECT_LT(after - full_rate_received, full_rate_received / 2 + 80);
+}
+
+TEST(Wan, PlaybackWorksWithLoss) {
+  VodTestBed bed(1, 1, net::wan_quality(0.01), 7);
+  bed.watch_all();
+  bed.run_for(30.0);
+  const BufferCounters& c = bed.client().counters();
+  EXPECT_TRUE(bed.client().connected());
+  EXPECT_GT(c.displayed, 700u);
+  // Fig 5(a): a steady trickle of skipped frames from network loss.
+  EXPECT_GT(c.skipped, 3u);
+  // Quality inferior to the LAN but the stream survives.
+  const double skip_rate = static_cast<double>(c.skipped) /
+                           static_cast<double>(c.displayed + c.skipped);
+  EXPECT_LT(skip_rate, 0.08);
+}
+
+TEST(Wan, JitterReorderingAbsorbedBySoftwareBuffer) {
+  net::LinkQuality q = net::wan_quality(0.0);  // jitter only, no loss
+  VodTestBed bed(1, 1, q, 11);
+  bed.watch_all();
+  bed.run_for(30.0);
+  const BufferCounters& c = bed.client().counters();
+  // With no loss, re-ordering alone must not cost (non-startup) frames:
+  // the software buffer re-orders them (small startup overflow allowed).
+  EXPECT_LT(c.late, 10u);
+  EXPECT_GT(c.displayed, 700u);
+}
+
+TEST(Wan, CrashRecoveryOnWan) {
+  VodTestBed bed(2, 1, net::wan_quality(0.01), 13);
+  bed.watch_all();
+  bed.run_for(25.0);
+  const auto before = bed.client().counters();
+  bed.crash_server(bed.serving_server());
+  bed.run_for(15.0);
+  const auto after = bed.client().counters();
+  EXPECT_GT(after.displayed - before.displayed, 350u);
+  // Fig 5(b): bursts of overflow discards accompany the refill.
+  EXPECT_GE(after.overflow_discards, before.overflow_discards);
+}
+
+}  // namespace
+}  // namespace ftvod::vod

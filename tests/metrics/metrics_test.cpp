@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "metrics/recorder.hpp"
+#include "metrics/report.hpp"
+
+namespace ftvod::metrics {
+namespace {
+
+TEST(TimeSeries, AppendAndLast) {
+  TimeSeries s("x");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.last(), 0.0);
+  s.append(100, 1.5);
+  s.append(200, 2.5);
+  EXPECT_EQ(s.samples().size(), 2u);
+  EXPECT_EQ(s.last(), 2.5);
+}
+
+TEST(TimeSeries, WindowIsHalfOpen) {
+  TimeSeries s("x");
+  for (int i = 0; i < 10; ++i) s.append(i * 100, i);
+  const auto w = s.window(200, 500);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.front().value, 2.0);
+  EXPECT_EQ(w.back().value, 4.0);
+}
+
+TEST(TimeSeries, SummaryStatistics) {
+  TimeSeries s("x");
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 7.0, 9.0}) {
+    s.append(0, v);
+  }
+  const Summary sum = s.summary();
+  EXPECT_EQ(sum.count, 7u);
+  EXPECT_DOUBLE_EQ(sum.min, 2.0);
+  EXPECT_DOUBLE_EQ(sum.max, 9.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 5.0);
+  EXPECT_NEAR(sum.stddev, std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_DOUBLE_EQ(sum.p50, 4.0);  // odd count: unambiguous median
+}
+
+TEST(TimeSeries, EmptySummary) {
+  TimeSeries s("x");
+  const Summary sum = s.summary();
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_EQ(sum.mean, 0.0);
+}
+
+TEST(Recorder, CountersAccumulate) {
+  Recorder r;
+  EXPECT_EQ(r.counter("a"), 0u);
+  r.count("a");
+  r.count("a", 4);
+  r.count("b");
+  EXPECT_EQ(r.counter("a"), 5u);
+  EXPECT_EQ(r.counter("b"), 1u);
+}
+
+TEST(Recorder, SeriesCreatedOnFirstUse) {
+  Recorder r;
+  EXPECT_EQ(r.series("x"), nullptr);
+  r.sample("x", 10, 1.0);
+  ASSERT_NE(r.series("x"), nullptr);
+  EXPECT_EQ(r.series("x")->samples().size(), 1u);
+  r.clear();
+  EXPECT_EQ(r.series("x"), nullptr);
+}
+
+TEST(Table, AlignsAndPads) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  t.add_row({"only-one-cell"});  // missing cells padded
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Csv, EmitsHeaderAndRows) {
+  TimeSeries s("skipped");
+  s.append(sim::sec(1.0), 3);
+  s.append(sim::sec(2.5), 7);
+  std::ostringstream os;
+  print_csv(os, s);
+  EXPECT_EQ(os.str(), "t_seconds,skipped\n1,3\n2.5,7\n");
+}
+
+TEST(AsciiChart, HandlesEmptyAndConstantSeries) {
+  std::ostringstream os;
+  TimeSeries empty("nothing");
+  print_ascii_chart(os, empty);
+  EXPECT_NE(os.str().find("(no samples)"), std::string::npos);
+
+  TimeSeries flat("flat");
+  for (int i = 0; i < 5; ++i) flat.append(sim::sec(i), 42.0);
+  std::ostringstream os2;
+  print_ascii_chart(os2, flat, 40, 8);
+  EXPECT_FALSE(os2.str().empty());  // must not divide by zero
+}
+
+TEST(AsciiChart, RendersRisingSeries) {
+  TimeSeries s("ramp");
+  for (int i = 0; i <= 50; ++i) s.append(sim::sec(i), i);
+  std::ostringstream os;
+  print_ascii_chart(os, s, 50, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("--- ramp ---"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftvod::metrics

@@ -1,0 +1,98 @@
+#include "mpeg/movie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftvod::mpeg {
+namespace {
+
+TEST(Movie, BasicProperties) {
+  auto m = Movie::synthetic("test", 60.0, 30.0, 1.4e6);
+  EXPECT_EQ(m->frame_count(), 1800u);
+  EXPECT_DOUBLE_EQ(m->fps(), 30.0);
+  EXPECT_NEAR(m->duration_s(), 60.0, 0.1);
+  EXPECT_EQ(m->frame_period(), 33'333);
+  EXPECT_EQ(m->avg_frame_bytes(), 5833u);
+}
+
+TEST(Movie, GopStructure) {
+  auto m = Movie::synthetic("test", 10.0);
+  // IBBPBBPBBPBB repeating.
+  EXPECT_EQ(m->frame_type(0), FrameType::kI);
+  EXPECT_EQ(m->frame_type(1), FrameType::kB);
+  EXPECT_EQ(m->frame_type(2), FrameType::kB);
+  EXPECT_EQ(m->frame_type(3), FrameType::kP);
+  EXPECT_EQ(m->frame_type(6), FrameType::kP);
+  EXPECT_EQ(m->frame_type(9), FrameType::kP);
+  EXPECT_EQ(m->frame_type(11), FrameType::kB);
+  EXPECT_EQ(m->frame_type(12), FrameType::kI);  // next GOP
+}
+
+TEST(Movie, ExactlyOneIFramePerGop) {
+  auto m = Movie::synthetic("test", 20.0);
+  for (std::uint64_t gop = 0; gop + 12 <= m->frame_count(); gop += 12) {
+    int i_frames = 0;
+    for (std::uint64_t k = 0; k < 12; ++k) {
+      if (m->frame_type(gop + k) == FrameType::kI) ++i_frames;
+    }
+    EXPECT_EQ(i_frames, 1);
+  }
+}
+
+TEST(Movie, BitrateCalibration) {
+  auto m = Movie::synthetic("calibration", 120.0, 30.0, 1.4e6);
+  std::uint64_t total_bytes = 0;
+  for (std::uint64_t i = 0; i < m->frame_count(); ++i) {
+    total_bytes += m->frame(i).size_bytes;
+  }
+  const double actual_bps =
+      static_cast<double>(total_bytes) * 8.0 / m->duration_s();
+  EXPECT_NEAR(actual_bps, 1.4e6, 1.4e6 * 0.05);  // within 5%
+}
+
+TEST(Movie, IFramesAreLargest) {
+  auto m = Movie::synthetic("test", 10.0);
+  // Average sizes per type must be strongly ordered I > P > B.
+  double sum_i = 0, sum_p = 0, sum_b = 0;
+  int n_i = 0, n_p = 0, n_b = 0;
+  for (std::uint64_t i = 0; i < m->frame_count(); ++i) {
+    const FrameInfo f = m->frame(i);
+    switch (f.type) {
+      case FrameType::kI: sum_i += f.size_bytes; ++n_i; break;
+      case FrameType::kP: sum_p += f.size_bytes; ++n_p; break;
+      case FrameType::kB: sum_b += f.size_bytes; ++n_b; break;
+    }
+  }
+  EXPECT_GT(sum_i / n_i, 2.0 * sum_p / n_p);
+  EXPECT_GT(sum_p / n_p, 2.0 * sum_b / n_b);
+}
+
+TEST(Movie, DeterministicAcrossInstances) {
+  auto a = Movie::synthetic("same-name", 10.0);
+  auto b = Movie::synthetic("same-name", 10.0);
+  for (std::uint64_t i = 0; i < a->frame_count(); ++i) {
+    EXPECT_EQ(a->frame(i).size_bytes, b->frame(i).size_bytes);
+  }
+}
+
+TEST(Movie, DifferentNamesDifferentSizes) {
+  auto a = Movie::synthetic("movie-a", 10.0);
+  auto b = Movie::synthetic("movie-b", 10.0);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < a->frame_count(); ++i) {
+    if (a->frame(i).size_bytes != b->frame(i).size_bytes) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(Movie, LowBitrateVariant) {
+  auto m = Movie::synthetic("modem", 30.0, 30.0, 300e3);
+  EXPECT_EQ(m->avg_frame_bytes(), 1250u);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < m->frame_count(); ++i) {
+    total += m->frame(i).size_bytes;
+  }
+  EXPECT_NEAR(static_cast<double>(total) * 8.0 / 30.0, 300e3, 300e3 * 0.06);
+}
+
+}  // namespace
+}  // namespace ftvod::mpeg

@@ -1,0 +1,86 @@
+// Reproducibility: the whole stack is deterministic given a seed — two
+// identical deployments produce bit-identical event streams and counters,
+// and different seeds genuinely differ. This is what makes the benchmark
+// harnesses and failure injections trustworthy.
+#include <gtest/gtest.h>
+
+#include "vod/service.hpp"
+
+namespace ftvod::vod {
+namespace {
+
+struct RunResult {
+  std::uint64_t events = 0;
+  std::uint64_t received = 0;
+  std::uint64_t displayed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t late = 0;
+  std::uint64_t wire_bytes = 0;
+
+  bool operator==(const RunResult&) const = default;
+};
+
+RunResult run_scenario(std::uint64_t seed) {
+  Deployment dep(seed);
+  const net::NodeId s0 = dep.add_host("s0");
+  const net::NodeId s1 = dep.add_host("s1");
+  const net::NodeId c0 = dep.add_host("c0");
+  auto movie = mpeg::Movie::synthetic("m", 120.0);
+  dep.start_server(s0).server->add_movie(movie);
+  dep.start_server(s1).server->add_movie(movie);
+  auto& client = *dep.start_client(c0).client;
+  dep.run_for(sim::sec(2.0));
+  client.watch("m");
+  dep.run_for(sim::sec(20.0));
+  // Inject a crash mid-run to exercise the failover path too.
+  for (auto& sn : dep.servers()) {
+    if (sn->server->serves(client.client_id())) {
+      dep.crash(sn->node);
+      break;
+    }
+  }
+  dep.run_for(sim::sec(10.0));
+
+  RunResult r;
+  r.events = dep.scheduler().executed_events();
+  r.received = client.counters().received;
+  r.displayed = client.counters().displayed;
+  r.skipped = client.counters().skipped;
+  r.late = client.counters().late;
+  r.wire_bytes = dep.network().total_wire_bytes();
+  return r;
+}
+
+TEST(Determinism, SameSeedBitIdentical) {
+  const RunResult a = run_scenario(12345);
+  const RunResult b = run_scenario(12345);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, SameSeedBitIdenticalWan) {
+  auto run = [](std::uint64_t seed) {
+    Deployment dep(seed, net::wan_quality(0.02));
+    const net::NodeId s0 = dep.add_host("s0");
+    const net::NodeId c0 = dep.add_host("c0");
+    auto movie = mpeg::Movie::synthetic("m", 60.0);
+    dep.start_server(s0).server->add_movie(movie);
+    auto& client = *dep.start_client(c0).client;
+    dep.run_for(sim::sec(2.0));
+    client.watch("m");
+    dep.run_for(sim::sec(20.0));
+    return std::pair{dep.scheduler().executed_events(),
+                     client.counters().received};
+  };
+  EXPECT_EQ(run(777), run(777));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const RunResult a = run_scenario(1);
+  const RunResult b = run_scenario(2);
+  // The deterministic protocol work is the same; the jitter draws differ,
+  // so the low-level event stream must differ.
+  EXPECT_NE(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace ftvod::vod

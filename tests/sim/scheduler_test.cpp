@@ -1,0 +1,139 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftvod::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(300, [&] { order.push_back(3); });
+  s.at(100, [&] { order.push_back(1); });
+  s.at(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(Scheduler, SameTimeEventsRunInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(50, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  Time fired = -1;
+  s.at(100, [&] {
+    s.after(50, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.at(100, [] {});
+  s.run();
+  Time fired = -1;
+  s.at(10, [&] { fired = s.now(); });  // in the past
+  s.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Scheduler, NegativeDelayClampsToZero) {
+  Scheduler s;
+  Time fired = -1;
+  s.after(-50, [&] { fired = s.now(); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  auto h = s.at(10, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, HandleNotPendingAfterRun) {
+  Scheduler s;
+  auto h = s.at(10, [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWithoutEvents) {
+  Scheduler s;
+  EXPECT_EQ(s.run_until(5000), 0u);
+  EXPECT_EQ(s.now(), 5000);
+}
+
+TEST(Scheduler, RunUntilRunsOnlyDueEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(100, [&] { order.push_back(1); });
+  s.at(200, [&] { order.push_back(2); });
+  s.run_until(150);
+  EXPECT_EQ(order, std::vector<int>{1});
+  EXPECT_EQ(s.now(), 150);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilIncludesBoundary) {
+  Scheduler s;
+  bool ran = false;
+  s.at(100, [&] { ran = true; });
+  s.run_until(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.after(10, recurse);
+  };
+  s.after(10, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ExecutedEventsCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(Scheduler, CancelledEventsNotCounted) {
+  Scheduler s;
+  auto h = s.at(1, [] {});
+  s.at(2, [] {});
+  h.cancel();
+  EXPECT_EQ(s.run(), 1u);
+}
+
+}  // namespace
+}  // namespace ftvod::sim

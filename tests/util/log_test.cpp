@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftvod::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    Log::reset();
+    Log::set_sink([this](std::string_view line) {
+      lines.emplace_back(line);
+    });
+  }
+  ~LogTest() override { Log::reset(); }
+  std::vector<std::string> lines;
+};
+
+TEST_F(LogTest, LevelFiltering) {
+  Log::set_level(LogLevel::kWarn);
+  log_debug("t", "hidden");
+  log_info("t", "hidden too");
+  log_warn("t", "visible");
+  log_error("t", "also visible");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("visible"), std::string::npos);
+  EXPECT_NE(lines[1].find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  log_error("t", "nope");
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST_F(LogTest, ComponentAndMessageFormatted) {
+  Log::set_level(LogLevel::kInfo);
+  log_info("gcs", "view ", 42, " installed");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("gcs: view 42 installed"), std::string::npos);
+}
+
+TEST_F(LogTest, TimeSourceStampsSimSeconds) {
+  Log::set_level(LogLevel::kInfo);
+  Log::set_time_source([] { return std::int64_t{1'500'000}; });  // 1.5 s
+  log_info("t", "stamped");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[1.500000s]"), std::string::npos);
+}
+
+TEST_F(LogTest, EnabledMatchesLevel) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_TRUE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+}
+
+}  // namespace
+}  // namespace ftvod::util

@@ -1,0 +1,114 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <deque>
+
+namespace ftvod::util {
+namespace {
+
+TEST(RingBuffer, BasicFifo) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), 3u);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(4));  // dropped
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_TRUE(rb.push(5));
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 5);
+  EXPECT_EQ(rb.pop(), std::nullopt);
+}
+
+TEST(RingBuffer, FrontAndAt) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(20);
+  rb.push(30);
+  EXPECT_EQ(rb.front(), 10);
+  EXPECT_EQ(rb.at(0), 10);
+  EXPECT_EQ(rb.at(1), 20);
+  EXPECT_EQ(rb.at(2), 30);
+  rb.pop();
+  rb.push(40);
+  rb.push(50);  // wraps
+  EXPECT_EQ(rb.at(0), 20);
+  EXPECT_EQ(rb.at(3), 50);
+}
+
+TEST(RingBuffer, Clear) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_EQ(rb.front(), 3);
+}
+
+TEST(RingBuffer, ZeroCapacityClampsToOne) {
+  RingBuffer<int> rb(0);
+  EXPECT_EQ(rb.capacity(), 1u);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_FALSE(rb.push(2));
+}
+
+TEST(RingBuffer, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(7));
+  auto p = rb.pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(**p, 7);
+}
+
+class RingBufferProperty : public ::testing::TestWithParam<unsigned> {};
+
+// Model-based check against std::deque under random push/pop sequences.
+TEST_P(RingBufferProperty, MatchesDequeModel) {
+  std::mt19937 gen(GetParam());
+  std::uniform_int_distribution<int> op(0, 2);
+  RingBuffer<int> rb(8);
+  std::deque<int> model;
+  int next = 0;
+  for (int i = 0; i < 2000; ++i) {
+    switch (op(gen)) {
+      case 0:
+      case 1: {  // push biased 2:1
+        const bool ok = rb.push(next);
+        if (model.size() < 8) {
+          EXPECT_TRUE(ok);
+          model.push_back(next);
+        } else {
+          EXPECT_FALSE(ok);
+        }
+        ++next;
+        break;
+      }
+      case 2: {
+        auto v = rb.pop();
+        if (model.empty()) {
+          EXPECT_EQ(v, std::nullopt);
+        } else {
+          ASSERT_TRUE(v.has_value());
+          EXPECT_EQ(*v, model.front());
+          model.pop_front();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(rb.size(), model.size());
+    for (std::size_t k = 0; k < model.size(); ++k) {
+      ASSERT_EQ(rb.at(k), model[k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingBufferProperty, ::testing::Range(0u, 6u));
+
+}  // namespace
+}  // namespace ftvod::util

@@ -1,0 +1,245 @@
+// Client buffer mechanics (§3): two-stage buffering, re-ordering window,
+// late/duplicate handling, the I-frame-preserving overflow policy, and
+// skip accounting at display time.
+#include "vod/client_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ftvod::vod {
+namespace {
+
+mpeg::FrameInfo frame(std::uint64_t index,
+                      mpeg::FrameType type = mpeg::FrameType::kP,
+                      std::uint32_t bytes = 5000) {
+  return mpeg::FrameInfo{index, type, bytes};
+}
+
+/// Small buffers for focused tests: 4 software slots, 3 frames of hardware.
+ClientBuffers small() { return ClientBuffers(4, 3 * 5000, 5000); }
+
+TEST(ClientBuffers, FramesFlowThroughToDisplay) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  EXPECT_EQ(b.hw_frames(), 3u);  // streamed straight into the decoder
+  EXPECT_EQ(b.sw_frames(), 0u);
+  auto f = b.consume();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->index, 0u);
+  EXPECT_EQ(b.counters().displayed, 1u);
+  EXPECT_EQ(b.counters().skipped, 0u);
+}
+
+TEST(ClientBuffers, SoftwareFillsWhenHardwareFull) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 6; ++i) b.insert(frame(i));
+  EXPECT_EQ(b.hw_frames(), 3u);
+  EXPECT_EQ(b.sw_frames(), 3u);
+  EXPECT_EQ(b.total_frames(), 6u);
+  EXPECT_EQ(b.hw_bytes(), 15'000u);
+}
+
+TEST(ClientBuffers, ConsumeRefillsHardwareFromSoftware) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 6; ++i) b.insert(frame(i));
+  (void)b.consume();
+  EXPECT_EQ(b.hw_frames(), 3u);  // topped up from software
+  EXPECT_EQ(b.sw_frames(), 2u);
+}
+
+TEST(ClientBuffers, OutOfOrderReorderedInSoftware) {
+  ClientBuffers b = small();
+  // Fill hardware so subsequent arrivals stay in the software window.
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  b.insert(frame(5));
+  b.insert(frame(3));
+  b.insert(frame(4));
+  // Drain: display order must be 0..5 with no skips.
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 6; ++i) {
+    auto f = b.consume();
+    ASSERT_TRUE(f.has_value());
+    order.push_back(f->index);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(b.counters().skipped, 0u);
+  EXPECT_EQ(b.counters().late, 0u);
+}
+
+TEST(ClientBuffers, DuplicateCountsAsLate) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  b.insert(frame(4));
+  b.insert(frame(4));  // duplicate while still in the software buffer
+  EXPECT_EQ(b.counters().late, 1u);
+}
+
+TEST(ClientBuffers, ArrivalBehindDecoderHorizonIsLate) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  // Frames 0..2 are already in the decoder; a late copy of 1 is useless.
+  b.insert(frame(1));
+  EXPECT_EQ(b.counters().late, 1u);
+  // Consuming past it doesn't re-display it.
+  (void)b.consume();
+  (void)b.consume();
+  EXPECT_EQ(b.counters().displayed, 2u);
+}
+
+TEST(ClientBuffers, GapCountsSkippedAtDisplayTime) {
+  ClientBuffers b = small();
+  b.insert(frame(0));
+  b.insert(frame(1));
+  b.insert(frame(4));  // 2 and 3 lost in the network
+  (void)b.consume();
+  (void)b.consume();
+  auto f = b.consume();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->index, 4u);
+  EXPECT_EQ(b.counters().skipped, 2u);
+}
+
+TEST(ClientBuffers, StarvationCounted) {
+  ClientBuffers b = small();
+  EXPECT_EQ(b.consume(), std::nullopt);
+  EXPECT_EQ(b.consume(), std::nullopt);
+  EXPECT_EQ(b.counters().starvation_ticks, 2u);
+}
+
+TEST(ClientBuffers, OverflowDiscardsIncrementalNotI) {
+  ClientBuffers b = small();
+  // Fill hardware (3) + software (4).
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  b.insert(frame(3, mpeg::FrameType::kB));
+  b.insert(frame(4, mpeg::FrameType::kI));
+  b.insert(frame(5, mpeg::FrameType::kB));
+  b.insert(frame(6, mpeg::FrameType::kI));
+  EXPECT_EQ(b.sw_frames(), 4u);
+  // Overflow: frame 7 arrives; the furthest *incremental* frame (5) must be
+  // discarded, never the I frames.
+  b.insert(frame(7, mpeg::FrameType::kP));
+  EXPECT_EQ(b.counters().overflow_discards, 1u);
+  EXPECT_EQ(b.counters().overflow_discarded_i_frames, 0u);
+  std::vector<std::uint64_t> displayed;
+  while (auto f = b.consume()) displayed.push_back(f->index);
+  EXPECT_EQ(displayed, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 6, 7}));
+}
+
+TEST(ClientBuffers, OverflowAllIFramesDropsIncomingIncremental) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  for (std::uint64_t i = 3; i < 7; ++i) b.insert(frame(i, mpeg::FrameType::kI));
+  // Software holds four I frames; an incoming B is the preferred victim.
+  b.insert(frame(7, mpeg::FrameType::kB));
+  EXPECT_EQ(b.counters().overflow_discards, 1u);
+  EXPECT_EQ(b.counters().overflow_discarded_i_frames, 0u);
+  EXPECT_EQ(b.sw_frames(), 4u);
+}
+
+TEST(ClientBuffers, OverflowAllIFramesEvictsFurthestIForIncomingI) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 3; ++i) b.insert(frame(i));
+  for (std::uint64_t i = 3; i < 7; ++i) b.insert(frame(i, mpeg::FrameType::kI));
+  b.insert(frame(7, mpeg::FrameType::kI));
+  EXPECT_EQ(b.counters().overflow_discards, 1u);
+  EXPECT_EQ(b.counters().overflow_discarded_i_frames, 1u);
+}
+
+TEST(ClientBuffers, HardwareRespectsByteBudgetNotFrameCount) {
+  // 10 KB hardware budget with 4 KB frames: only 2 fit (8 KB), not 3.
+  ClientBuffers b(4, 10'000, 4000);
+  b.insert(frame(0, mpeg::FrameType::kP, 4000));
+  b.insert(frame(1, mpeg::FrameType::kP, 4000));
+  b.insert(frame(2, mpeg::FrameType::kP, 4000));
+  EXPECT_EQ(b.hw_frames(), 2u);
+  EXPECT_EQ(b.sw_frames(), 1u);
+}
+
+TEST(ClientBuffers, OversizedFrameStillEntersEmptyHardware) {
+  ClientBuffers b(4, 3000, 3000);
+  b.insert(frame(0, mpeg::FrameType::kI, 20'000));  // larger than the buffer
+  EXPECT_EQ(b.hw_frames(), 1u);  // admitted rather than wedged forever
+}
+
+TEST(ClientBuffers, FlushRepositionsWithoutCountingSkips) {
+  ClientBuffers b = small();
+  for (std::uint64_t i = 0; i < 5; ++i) b.insert(frame(i));
+  (void)b.consume();
+  b.flush_to(1000);
+  EXPECT_EQ(b.total_frames(), 0u);
+  EXPECT_EQ(b.hw_bytes(), 0u);
+  b.insert(frame(1000));
+  b.insert(frame(1001));
+  auto f = b.consume();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->index, 1000u);
+  EXPECT_EQ(b.counters().skipped, 0u);  // the jump is not "skipped frames"
+}
+
+TEST(ClientBuffers, FlushMakesOlderFramesLate) {
+  ClientBuffers b = small();
+  b.flush_to(1000);
+  b.insert(frame(999));  // pre-seek stragglers
+  EXPECT_EQ(b.counters().late, 1u);
+  EXPECT_EQ(b.total_frames(), 0u);
+}
+
+TEST(ClientBuffers, OccupancyFraction) {
+  ClientBuffers b(10, 10 * 5000, 5000);  // 20 frames total capacity
+  EXPECT_EQ(b.total_capacity_frames(), 20u);
+  for (std::uint64_t i = 0; i < 5; ++i) b.insert(frame(i));
+  EXPECT_DOUBLE_EQ(b.occupancy_fraction(), 0.25);
+}
+
+TEST(ClientBuffers, PaperSizedBuffersHoldAbout2Point4Seconds) {
+  // 37 software frames + 240 KB hardware at 5833-byte frames ~ 79 frames
+  // ~ 2.6 s at 30 fps — the paper's "approximately 2.4 seconds of video".
+  ClientBuffers b(37, 240 * 1024, 5833);
+  const double seconds =
+      static_cast<double>(b.total_capacity_frames()) / 30.0;
+  EXPECT_NEAR(seconds, 2.4, 0.3);
+}
+
+class BufferFuzz : public ::testing::TestWithParam<unsigned> {};
+
+// Random arrival orders with drops and duplicates: displayed indices are
+// strictly increasing, counters are consistent, capacity is never exceeded.
+TEST_P(BufferFuzz, InvariantsUnderRandomTraffic) {
+  std::mt19937 gen(GetParam() * 1299709 + 11);
+  ClientBuffers b(8, 6 * 5000, 5000);
+  std::uniform_int_distribution<int> jitter(-3, 3);
+  std::uniform_int_distribution<int> action(0, 9);
+  std::uint64_t next = 0;
+  std::int64_t last_shown = -1;
+  for (int step = 0; step < 5000; ++step) {
+    if (action(gen) < 7) {
+      // Arrival with jittered index; occasionally skip ahead (loss) or
+      // repeat (duplicate).
+      const std::int64_t idx = static_cast<std::int64_t>(next) + jitter(gen);
+      if (idx >= 0) {
+        const auto type = idx % 12 == 0 ? mpeg::FrameType::kI
+                                        : mpeg::FrameType::kB;
+        b.insert(frame(static_cast<std::uint64_t>(idx), type));
+      }
+      ++next;
+    } else {
+      if (auto f = b.consume()) {
+        ASSERT_GT(static_cast<std::int64_t>(f->index), last_shown);
+        last_shown = static_cast<std::int64_t>(f->index);
+      }
+    }
+    ASSERT_LE(b.sw_frames(), 8u);
+    ASSERT_LE(b.hw_bytes(), 6u * 5000u + 20'000u);  // one oversized allowance
+  }
+  // Conservation: every received frame is either displayed, still buffered,
+  // dropped as late, or discarded on overflow.
+  const BufferCounters& c = b.counters();
+  ASSERT_EQ(c.displayed + b.total_frames() + c.late + c.overflow_discards,
+            c.received);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferFuzz, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace ftvod::vod

@@ -1,0 +1,150 @@
+// Client-side behaviour through the stack: connection lifecycle, stats
+// surfaces, reconnect logic, and robustness against malformed traffic.
+#include <gtest/gtest.h>
+
+#include "../integration/vod_testbed.hpp"
+
+namespace ftvod::vod {
+namespace {
+
+using testing::VodTestBed;
+
+TEST(Client, StatsBeforeConnectionAreEmpty) {
+  VodTestBed bed(1, 1);
+  const VodClient& c = bed.client();
+  EXPECT_FALSE(c.connected());
+  EXPECT_FALSE(c.playing());
+  EXPECT_EQ(c.buffers(), nullptr);
+  EXPECT_EQ(c.counters().received, 0u);
+  EXPECT_EQ(c.occupancy_fraction(), 0.0);
+}
+
+TEST(Client, WaterMarkAccessors) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(5.0);
+  const VodClient& c = bed.client();
+  ASSERT_TRUE(c.connected());
+  const double total = static_cast<double>(
+      c.buffers()->total_capacity_frames());
+  EXPECT_DOUBLE_EQ(c.low_water_frames(), 0.73 * total);
+  EXPECT_DOUBLE_EQ(c.high_water_frames(), 0.88 * total);
+  EXPECT_GT(c.low_water_frames(), 50.0);
+}
+
+TEST(Client, OpenRetriesUntilServerExists) {
+  // The movie appears only after the client has been asking for a while.
+  VodTestBed bed(1, 1);
+  bed.client().watch("late-movie");
+  bed.run_for(4.0);
+  EXPECT_FALSE(bed.client().connected());
+  const auto retries = bed.client().control_stats().open_retries;
+  EXPECT_GE(retries, 2u);
+
+  bed.server(0).add_movie(mpeg::Movie::synthetic("late-movie", 120.0));
+  bed.run_for(4.0);
+  EXPECT_TRUE(bed.client().connected());
+  EXPECT_GT(bed.client().counters().displayed, 50u);
+}
+
+TEST(Client, ReconnectsAfterSessionLoss) {
+  // Cut the client off long enough for the servers to give up on it, then
+  // heal: the client must notice the dead stream and re-request.
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  bed.deployment().network().partition(
+      {{bed.deployment().clients()[0]->node}});
+  bed.run_for(6.0);
+  bed.deployment().network().heal();
+  bed.run_for(20.0);
+  EXPECT_TRUE(bed.client().connected());
+  EXPECT_EQ(bed.server(0).session_count(), 1u);
+  const auto before = bed.client().counters().displayed;
+  bed.run_for(5.0);
+  EXPECT_GT(bed.client().counters().displayed - before, 100u);
+}
+
+TEST(Client, GarbageDatagramsIgnored) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(5.0);
+  // Fire junk at the client's data port from a foreign socket.
+  auto& dep = bed.deployment();
+  auto junk = dep.network().bind(dep.servers()[0]->node, 4444, nullptr);
+  const net::Endpoint client_data{dep.clients()[0]->node, 9100};
+  junk->send(client_data, util::Bytes{std::byte{0xFF}, std::byte{0x00}});
+  junk->send(client_data, util::Bytes{});  // empty datagram
+  util::Writer w;  // a frame for some *other* client id
+  w.u8(8);         // kFrame tag
+  w.u64(999999);
+  w.u64(1);
+  w.u8(0);
+  w.u32(100);
+  junk->send(client_data, w.take());
+  bed.run_for(2.0);
+  EXPECT_TRUE(bed.client().connected());
+  EXPECT_TRUE(bed.client().playing());
+}
+
+TEST(Client, DisplayedIndicesMonotone) {
+  VodTestBed bed(1, 1, net::wan_quality(0.02), 17);
+  bed.watch_all();
+  bed.run_for(20.0);
+  // last_displayed advances with wall clock: sample strictly increasing.
+  std::int64_t prev = -1;
+  for (int i = 0; i < 20; ++i) {
+    bed.run_for(0.5);
+    const std::int64_t now = bed.client().buffers()->last_displayed();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Client, PlaybackSpeedIsRealTime) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(10.0);
+  const std::int64_t p0 = bed.client().buffers()->last_displayed();
+  bed.run_for(20.0);
+  const std::int64_t p1 = bed.client().buffers()->last_displayed();
+  // 20 s at 30 fps = 600 frames of movie time (display-order gaps from
+  // startup-overflow skips let the index run slightly ahead).
+  EXPECT_NEAR(static_cast<double>(p1 - p0), 600.0, 25.0);
+}
+
+TEST(Client, TwoClientsOnDifferentHostsIndependent) {
+  VodTestBed bed(1, 2);
+  bed.client(0).watch("feature");
+  bed.run_for(5.0);
+  EXPECT_TRUE(bed.client(0).connected());
+  EXPECT_FALSE(bed.client(1).connected());  // never asked
+  bed.client(1).watch("feature");
+  bed.run_for(5.0);
+  EXPECT_TRUE(bed.client(1).connected());
+  // Pausing one must not affect the other.
+  bed.client(0).pause();
+  const auto d1 = bed.client(1).counters().displayed;
+  bed.run_for(5.0);
+  EXPECT_GT(bed.client(1).counters().displayed, d1 + 100);
+}
+
+TEST(Client, StopThenRewatch) {
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(8.0);
+  bed.client().stop();
+  bed.run_for(2.0);
+  EXPECT_FALSE(bed.client().connected());
+  EXPECT_EQ(bed.server(0).session_count(), 0u);
+  // A fresh client instance on the same host can watch again (the old
+  // client released its data port only at destruction, so use client 0's
+  // own re-watch path instead: watch() after stop()).
+  bed.client().watch("feature");
+  bed.run_for(6.0);
+  EXPECT_TRUE(bed.client().connected());
+  EXPECT_EQ(bed.server(0).session_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ftvod::vod

@@ -1,0 +1,92 @@
+// Verifies the emergency transmission quantity of §4.1: base quantities,
+// truncated multiplicative decay, and the burst totals the paper reports.
+#include "vod/emergency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftvod::vod {
+namespace {
+
+TEST(Emergency, PaperDecaySequenceQ12) {
+  // "we set the base emergency quantity q to 12. We use a decay factor f of
+  //  .8, so the resulting sequence sum is 43 frames."
+  EmergencyQuantity eq(0.8);
+  eq.trigger(12);
+  std::vector<int> seq;
+  while (eq.active()) {
+    seq.push_back(eq.quantity());
+    eq.decay_step();
+  }
+  EXPECT_EQ(seq, (std::vector<int>{12, 9, 7, 5, 4, 3, 2, 1}));
+  EXPECT_EQ(EmergencyQuantity::burst_total(12, 0.8), 43u);
+}
+
+TEST(Emergency, PaperBurstTotalsTier2) {
+  // Tier 2 (below 30% but not 15%): q=6; the paper reports ~15 extra
+  // frames; the truncated geometric sum gives 16.
+  EXPECT_EQ(EmergencyQuantity::burst_total(6, 0.8), 16u);
+}
+
+TEST(Emergency, PeakOverheadIsFortyPercentAt30Fps) {
+  // q=12 on a 30 fps stream = 40% extra bandwidth at the burst's peak.
+  EXPECT_DOUBLE_EQ(12.0 / 30.0, 0.4);
+}
+
+TEST(Emergency, BurstDurations) {
+  EXPECT_EQ(EmergencyQuantity::burst_duration_s(12, 0.8), 8);
+  EXPECT_EQ(EmergencyQuantity::burst_duration_s(6, 0.8), 5);
+  EXPECT_EQ(EmergencyQuantity::burst_duration_s(0, 0.8), 0);
+}
+
+TEST(Emergency, TriggerNeverShrinksActiveBurst) {
+  EmergencyQuantity eq(0.8);
+  eq.trigger(12);
+  eq.trigger(6);  // a weaker concurrent emergency
+  EXPECT_EQ(eq.quantity(), 12);
+  eq.decay_step();
+  EXPECT_EQ(eq.quantity(), 9);
+  eq.trigger(12);  // escalation is allowed
+  EXPECT_EQ(eq.quantity(), 12);
+}
+
+TEST(Emergency, InactiveAfterFullDecay) {
+  EmergencyQuantity eq(0.8);
+  EXPECT_FALSE(eq.active());
+  eq.trigger(6);
+  EXPECT_TRUE(eq.active());
+  for (int i = 0; i < 10; ++i) eq.decay_step();
+  EXPECT_FALSE(eq.active());
+  EXPECT_EQ(eq.quantity(), 0);
+}
+
+TEST(Emergency, ResetClears) {
+  EmergencyQuantity eq(0.8);
+  eq.trigger(12);
+  eq.reset();
+  EXPECT_FALSE(eq.active());
+}
+
+class EmergencySweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+// Properties over the (q, f) parameter space the paper discusses trading
+// off: total extra frames grows with both q and f, and the burst always
+// terminates.
+TEST_P(EmergencySweep, BurstTerminatesAndBoundsHold) {
+  const auto [q, f] = GetParam();
+  const std::uint64_t total = EmergencyQuantity::burst_total(q, f);
+  const int dur = EmergencyQuantity::burst_duration_s(q, f);
+  EXPECT_GE(total, static_cast<std::uint64_t>(q));  // at least the first second
+  EXPECT_LE(total, static_cast<std::uint64_t>(
+                       static_cast<double>(q) / (1.0 - f) + q));
+  EXPECT_GT(dur, 0);
+  EXPECT_LT(dur, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, EmergencySweep,
+    ::testing::Combine(::testing::Values(1, 3, 6, 12, 24, 48),
+                       ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9)));
+
+}  // namespace
+}  // namespace ftvod::vod

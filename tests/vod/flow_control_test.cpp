@@ -1,0 +1,212 @@
+// Verifies the client flow-control policy against Figure 2 of the paper,
+// row by row, plus the request-frequency rules. The emergency thresholds
+// watch the software-stage occupancy; the water marks watch the total.
+#include "vod/flow_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftvod::vod {
+namespace {
+
+VodParams paper_params() { return VodParams{}; }
+
+/// In these tests the software stage is healthy unless stated otherwise.
+constexpr double kHealthySw = 0.6;
+
+// --- the policy table (Figure 2 + §4.1 tiers) ------------------------------
+
+TEST(FlowPolicy, SoftwareBelowCriticalIsEmergencyTier1) {
+  FlowController fc(paper_params());
+  EXPECT_EQ(fc.classify(0.40, 0.00), FlowAction::kEmergencyTier1);
+  EXPECT_EQ(fc.classify(0.40, 0.10), FlowAction::kEmergencyTier1);
+  EXPECT_EQ(fc.classify(0.40, 0.149), FlowAction::kEmergencyTier1);
+}
+
+TEST(FlowPolicy, SoftwareBelowSeriousIsEmergencyTier2) {
+  FlowController fc(paper_params());
+  EXPECT_EQ(fc.classify(0.40, 0.15), FlowAction::kEmergencyTier2);
+  EXPECT_EQ(fc.classify(0.40, 0.25), FlowAction::kEmergencyTier2);
+  EXPECT_EQ(fc.classify(0.40, 0.299), FlowAction::kEmergencyTier2);
+}
+
+TEST(FlowPolicy, PaperScenarioTiers) {
+  // Crash: software drains to zero -> critical. Load balance: software dips
+  // to about a quarter of its capacity -> the "less serious" tier.
+  FlowController fc(paper_params());
+  EXPECT_EQ(fc.classify(0.40, 0.0), FlowAction::kEmergencyTier1);
+  EXPECT_EQ(fc.classify(0.60, 0.25), FlowAction::kEmergencyTier2);
+}
+
+TEST(FlowPolicy, BelowLowWaterIsIncrease) {
+  FlowController fc(paper_params());
+  // prev starts at 0: occupancy is flat-or-falling relative to it only
+  // when <= prev, so prime prev high first (8 frames: in-band frequency).
+  for (int i = 0; i < 8; ++i) (void)fc.on_frame_received(0.80, kHealthySw);
+  EXPECT_EQ(fc.classify(0.30, kHealthySw), FlowAction::kIncrease);
+  EXPECT_EQ(fc.classify(0.50, kHealthySw), FlowAction::kIncrease);
+  EXPECT_EQ(fc.classify(0.729, kHealthySw), FlowAction::kIncrease);
+}
+
+TEST(FlowPolicy, BelowLowWaterButRecoveringStaysQuiet) {
+  // Trend damping: once the occupancy is climbing back toward the band,
+  // further increase requests would overshoot.
+  FlowController fc(paper_params());
+  for (int i = 0; i < 4; ++i) (void)fc.on_frame_received(0.40, kHealthySw);
+  EXPECT_EQ(fc.classify(0.50, kHealthySw), std::nullopt);  // rising
+  EXPECT_EQ(fc.classify(0.35, kHealthySw), FlowAction::kIncrease);  // falling
+}
+
+TEST(FlowPolicy, AboveHighWaterIsDecrease) {
+  FlowController fc(paper_params());
+  for (int i = 0; i < 4; ++i) (void)fc.on_frame_received(0.50, kHealthySw);
+  EXPECT_EQ(fc.classify(0.88, kHealthySw), FlowAction::kDecrease);
+  EXPECT_EQ(fc.classify(0.95, 0.9), FlowAction::kDecrease);
+  EXPECT_EQ(fc.classify(1.00, 1.0), FlowAction::kDecrease);
+}
+
+TEST(FlowPolicy, AboveHighWaterButDrainingStaysQuiet) {
+  FlowController fc(paper_params());
+  for (int i = 0; i < 4; ++i) (void)fc.on_frame_received(0.98, 1.0);
+  EXPECT_EQ(fc.classify(0.92, 1.0), std::nullopt);  // already falling
+  EXPECT_EQ(fc.classify(0.99, 1.0), FlowAction::kDecrease);  // still rising
+}
+
+TEST(FlowPolicy, EmergencyOutranksWaterMarks) {
+  // Even with a full-looking total (hardware full), a starved software
+  // stage is an emergency, not an "increase".
+  FlowController fc(paper_params());
+  EXPECT_EQ(fc.classify(0.55, 0.05), FlowAction::kEmergencyTier1);
+}
+
+TEST(FlowPolicy, InBandFollowsTrend) {
+  VodParams p = paper_params();
+  FlowController fc(p);
+  // Establish prev occupancy = 0.80 by driving a request through.
+  for (int i = 0; i < p.flow_normal_every; ++i) {
+    (void)fc.on_frame_received(0.80, kHealthySw);
+  }
+  EXPECT_DOUBLE_EQ(fc.prev_occupancy(), 0.80);
+  // Falling inside the band -> increase; rising -> decrease; flat -> none.
+  EXPECT_EQ(fc.classify(0.78, kHealthySw), FlowAction::kIncrease);
+  EXPECT_EQ(fc.classify(0.82, kHealthySw), FlowAction::kDecrease);
+  EXPECT_EQ(fc.classify(0.80, kHealthySw), std::nullopt);
+}
+
+// --- request frequencies ----------------------------------------------------
+
+TEST(FlowFrequency, NormalZoneEveryEighthFrame) {
+  VodParams p = paper_params();
+  FlowController fc(p);
+  int requests = 0;
+  // Stay in-band with a falling trend so every due check emits a request.
+  double occ = 0.87;
+  for (int i = 0; i < 64; ++i) {
+    occ -= 0.001;
+    if (fc.on_frame_received(occ, kHealthySw)) ++requests;
+  }
+  EXPECT_EQ(requests, 64 / p.flow_normal_every);
+}
+
+TEST(FlowFrequency, UrgentZoneEveryFourthFrame) {
+  VodParams p = paper_params();
+  FlowController fc(p);
+  // Prime prev so the flat trend counts as "not recovering".
+  for (int i = 0; i < p.flow_urgent_every; ++i) {
+    (void)fc.on_frame_received(0.50, kHealthySw);
+  }
+  int requests = 0;
+  for (int i = 0; i < 64; ++i) {
+    // Below low water: urgent.
+    if (fc.on_frame_received(0.50, kHealthySw)) ++requests;
+  }
+  EXPECT_EQ(requests, 64 / p.flow_urgent_every);
+}
+
+TEST(FlowFrequency, StarvedSoftwareIsUrgentEvenInBand) {
+  VodParams p = paper_params();
+  FlowController fc(p);
+  int requests = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (fc.on_frame_received(0.80, 0.05)) ++requests;
+  }
+  EXPECT_EQ(requests, 64 / p.flow_urgent_every);
+}
+
+TEST(FlowFrequency, UrgentIsTwiceNormal) {
+  VodParams p = paper_params();
+  EXPECT_EQ(p.flow_normal_every, 2 * p.flow_urgent_every);
+}
+
+TEST(FlowFrequency, NoRequestWhenOccupancyFlatInBand) {
+  VodParams p = paper_params();
+  FlowController fc(p);
+  // Prime prev = 0.80.
+  for (int i = 0; i < p.flow_normal_every; ++i) {
+    (void)fc.on_frame_received(0.80, kHealthySw);
+  }
+  int requests = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (fc.on_frame_received(0.80, kHealthySw)) ++requests;
+  }
+  EXPECT_EQ(requests, 0);
+}
+
+TEST(FlowFrequency, ResetClearsCounter) {
+  VodParams p = paper_params();
+  FlowController fc(p);
+  for (int i = 0; i < p.flow_urgent_every - 1; ++i) {
+    EXPECT_EQ(fc.on_frame_received(0.5, kHealthySw), std::nullopt);
+  }
+  fc.reset();
+  // Counter restarted: still no request for another urgent-1 frames, and
+  // the first due check is damped (prev was reset to 0, so 0.5 looks like
+  // a recovery); the second due check fires on the flat trend.
+  for (int i = 0; i < p.flow_urgent_every; ++i) {
+    EXPECT_EQ(fc.on_frame_received(0.5, kHealthySw), std::nullopt);
+  }
+  for (int i = 0; i < p.flow_urgent_every - 1; ++i) {
+    EXPECT_EQ(fc.on_frame_received(0.5, kHealthySw), std::nullopt);
+  }
+  EXPECT_EQ(fc.on_frame_received(0.5, kHealthySw), FlowAction::kIncrease);
+}
+
+// --- parameterized: the classify function is monotone in severity ----------
+
+class FlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowSweep, SeverityMonotone) {
+  FlowController fc(paper_params());
+  const double occ = GetParam() / 100.0;
+  // Prime prev to the probe value so the trend is flat (worst case: the
+  // out-of-band rules must still fire on a flat trend).
+  for (int i = 0; i < 8; ++i) (void)fc.on_frame_received(occ, kHealthySw);
+  const auto action = fc.classify(occ, kHealthySw);
+  if (occ < 0.73) {
+    EXPECT_EQ(action, FlowAction::kIncrease);
+  } else if (occ >= 0.88) {
+    EXPECT_EQ(action, FlowAction::kDecrease);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Occupancies, FlowSweep, ::testing::Range(0, 101, 2));
+
+class SwSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwSweep, EmergencyTiersBySoftwareOccupancy) {
+  FlowController fc(paper_params());
+  for (int i = 0; i < 4; ++i) (void)fc.on_frame_received(0.50, kHealthySw);
+  const double sw = GetParam() / 100.0;
+  const auto action = fc.classify(0.50, sw);
+  if (sw < 0.15) {
+    EXPECT_EQ(action, FlowAction::kEmergencyTier1);
+  } else if (sw < 0.30) {
+    EXPECT_EQ(action, FlowAction::kEmergencyTier2);
+  } else {
+    EXPECT_EQ(action, FlowAction::kIncrease);  // total 0.5 < low water
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SwOccupancies, SwSweep, ::testing::Range(0, 101, 2));
+
+}  // namespace
+}  // namespace ftvod::vod
