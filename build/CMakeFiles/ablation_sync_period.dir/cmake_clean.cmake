@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_period.dir/bench/ablation_sync_period.cpp.o"
+  "CMakeFiles/ablation_sync_period.dir/bench/ablation_sync_period.cpp.o.d"
+  "bench/ablation_sync_period"
+  "bench/ablation_sync_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

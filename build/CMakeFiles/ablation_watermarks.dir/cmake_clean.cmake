@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_watermarks.dir/bench/ablation_watermarks.cpp.o"
+  "CMakeFiles/ablation_watermarks.dir/bench/ablation_watermarks.cpp.o.d"
+  "bench/ablation_watermarks"
+  "bench/ablation_watermarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watermarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_wan.dir/bench/fig5_wan.cpp.o"
+  "CMakeFiles/fig5_wan.dir/bench/fig5_wan.cpp.o.d"
+  "bench/fig5_wan"
+  "bench/fig5_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

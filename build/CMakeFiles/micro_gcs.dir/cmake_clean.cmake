@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gcs.dir/bench/micro_gcs.cpp.o"
+  "CMakeFiles/micro_gcs.dir/bench/micro_gcs.cpp.o.d"
+  "bench/micro_gcs"
+  "bench/micro_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_emergency.dir/bench/tab_emergency.cpp.o"
+  "CMakeFiles/tab_emergency.dir/bench/tab_emergency.cpp.o.d"
+  "bench/tab_emergency"
+  "bench/tab_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

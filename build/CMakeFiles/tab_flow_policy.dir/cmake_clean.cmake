@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_flow_policy.dir/bench/tab_flow_policy.cpp.o"
+  "CMakeFiles/tab_flow_policy.dir/bench/tab_flow_policy.cpp.o.d"
+  "bench/tab_flow_policy"
+  "bench/tab_flow_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_flow_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ktolerance.dir/bench/tab_ktolerance.cpp.o"
+  "CMakeFiles/tab_ktolerance.dir/bench/tab_ktolerance.cpp.o.d"
+  "bench/tab_ktolerance"
+  "bench/tab_ktolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ktolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

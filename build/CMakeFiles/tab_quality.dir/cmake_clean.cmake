@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_quality.dir/bench/tab_quality.cpp.o"
+  "CMakeFiles/tab_quality.dir/bench/tab_quality.cpp.o.d"
+  "bench/tab_quality"
+  "bench/tab_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

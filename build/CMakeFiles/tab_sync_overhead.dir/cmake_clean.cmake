@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sync_overhead.dir/bench/tab_sync_overhead.cpp.o"
+  "CMakeFiles/tab_sync_overhead.dir/bench/tab_sync_overhead.cpp.o.d"
+  "bench/tab_sync_overhead"
+  "bench/tab_sync_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sync_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_takeover.dir/bench/tab_takeover.cpp.o"
+  "CMakeFiles/tab_takeover.dir/bench/tab_takeover.cpp.o.d"
+  "bench/tab_takeover"
+  "bench/tab_takeover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_takeover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_demo.dir/load_balance_demo.cpp.o"
+  "CMakeFiles/load_balance_demo.dir/load_balance_demo.cpp.o.d"
+  "load_balance_demo"
+  "load_balance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

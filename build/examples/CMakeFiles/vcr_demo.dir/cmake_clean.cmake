@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcr_demo.dir/vcr_demo.cpp.o"
+  "CMakeFiles/vcr_demo.dir/vcr_demo.cpp.o.d"
+  "vcr_demo"
+  "vcr_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcr_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_demo.dir/wan_demo.cpp.o"
+  "CMakeFiles/wan_demo.dir/wan_demo.cpp.o.d"
+  "wan_demo"
+  "wan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/daemon.cpp" "src/gcs/CMakeFiles/ftvod_gcs.dir/daemon.cpp.o" "gcc" "src/gcs/CMakeFiles/ftvod_gcs.dir/daemon.cpp.o.d"
+  "/root/repo/src/gcs/membership.cpp" "src/gcs/CMakeFiles/ftvod_gcs.dir/membership.cpp.o" "gcc" "src/gcs/CMakeFiles/ftvod_gcs.dir/membership.cpp.o.d"
+  "/root/repo/src/gcs/wire.cpp" "src/gcs/CMakeFiles/ftvod_gcs.dir/wire.cpp.o" "gcc" "src/gcs/CMakeFiles/ftvod_gcs.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ftvod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftvod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftvod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

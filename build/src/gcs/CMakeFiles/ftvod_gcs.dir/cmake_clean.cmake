@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_gcs.dir/daemon.cpp.o"
+  "CMakeFiles/ftvod_gcs.dir/daemon.cpp.o.d"
+  "CMakeFiles/ftvod_gcs.dir/membership.cpp.o"
+  "CMakeFiles/ftvod_gcs.dir/membership.cpp.o.d"
+  "CMakeFiles/ftvod_gcs.dir/wire.cpp.o"
+  "CMakeFiles/ftvod_gcs.dir/wire.cpp.o.d"
+  "libftvod_gcs.a"
+  "libftvod_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

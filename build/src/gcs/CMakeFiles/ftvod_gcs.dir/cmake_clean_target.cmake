@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftvod_gcs.a"
+)

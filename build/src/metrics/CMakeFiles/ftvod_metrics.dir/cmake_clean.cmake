@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_metrics.dir/report.cpp.o"
+  "CMakeFiles/ftvod_metrics.dir/report.cpp.o.d"
+  "libftvod_metrics.a"
+  "libftvod_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_mpeg.dir/movie.cpp.o"
+  "CMakeFiles/ftvod_mpeg.dir/movie.cpp.o.d"
+  "libftvod_mpeg.a"
+  "libftvod_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftvod_mpeg.
+# This may be replaced when dependencies are built.

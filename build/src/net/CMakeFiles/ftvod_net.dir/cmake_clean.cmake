@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_net.dir/network.cpp.o"
+  "CMakeFiles/ftvod_net.dir/network.cpp.o.d"
+  "libftvod_net.a"
+  "libftvod_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

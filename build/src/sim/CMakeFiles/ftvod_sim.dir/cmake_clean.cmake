@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ftvod_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ftvod_sim.dir/timer.cpp.o"
+  "CMakeFiles/ftvod_sim.dir/timer.cpp.o.d"
+  "libftvod_sim.a"
+  "libftvod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

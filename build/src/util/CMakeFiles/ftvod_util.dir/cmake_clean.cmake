@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_util.dir/codec.cpp.o"
+  "CMakeFiles/ftvod_util.dir/codec.cpp.o.d"
+  "CMakeFiles/ftvod_util.dir/log.cpp.o"
+  "CMakeFiles/ftvod_util.dir/log.cpp.o.d"
+  "libftvod_util.a"
+  "libftvod_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftvod_vod.dir/client.cpp.o"
+  "CMakeFiles/ftvod_vod.dir/client.cpp.o.d"
+  "CMakeFiles/ftvod_vod.dir/client_buffer.cpp.o"
+  "CMakeFiles/ftvod_vod.dir/client_buffer.cpp.o.d"
+  "CMakeFiles/ftvod_vod.dir/redistribution.cpp.o"
+  "CMakeFiles/ftvod_vod.dir/redistribution.cpp.o.d"
+  "CMakeFiles/ftvod_vod.dir/server.cpp.o"
+  "CMakeFiles/ftvod_vod.dir/server.cpp.o.d"
+  "CMakeFiles/ftvod_vod.dir/wire.cpp.o"
+  "CMakeFiles/ftvod_vod.dir/wire.cpp.o.d"
+  "libftvod_vod.a"
+  "libftvod_vod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftvod_vod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_buffer_test.dir/vod/client_buffer_test.cpp.o"
+  "CMakeFiles/client_buffer_test.dir/vod/client_buffer_test.cpp.o.d"
+  "client_buffer_test"
+  "client_buffer_test.pdb"
+  "client_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

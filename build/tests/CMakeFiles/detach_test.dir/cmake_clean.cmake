@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detach_test.dir/integration/detach_test.cpp.o"
+  "CMakeFiles/detach_test.dir/integration/detach_test.cpp.o.d"
+  "detach_test"
+  "detach_test.pdb"
+  "detach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

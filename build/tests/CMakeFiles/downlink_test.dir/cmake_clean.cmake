@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downlink_test.dir/net/downlink_test.cpp.o"
+  "CMakeFiles/downlink_test.dir/net/downlink_test.cpp.o.d"
+  "downlink_test"
+  "downlink_test.pdb"
+  "downlink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downlink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

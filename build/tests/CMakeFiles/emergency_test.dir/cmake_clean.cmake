@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_test.dir/vod/emergency_test.cpp.o"
+  "CMakeFiles/emergency_test.dir/vod/emergency_test.cpp.o.d"
+  "emergency_test"
+  "emergency_test.pdb"
+  "emergency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_daemon_test.dir/gcs/daemon_test.cpp.o"
+  "CMakeFiles/gcs_daemon_test.dir/gcs/daemon_test.cpp.o.d"
+  "gcs_daemon_test"
+  "gcs_daemon_test.pdb"
+  "gcs_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

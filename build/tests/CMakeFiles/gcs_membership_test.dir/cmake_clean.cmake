@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_membership_test.dir/gcs/membership_test.cpp.o"
+  "CMakeFiles/gcs_membership_test.dir/gcs/membership_test.cpp.o.d"
+  "gcs_membership_test"
+  "gcs_membership_test.pdb"
+  "gcs_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

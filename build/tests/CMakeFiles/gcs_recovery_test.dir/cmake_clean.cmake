@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_recovery_test.dir/gcs/recovery_test.cpp.o"
+  "CMakeFiles/gcs_recovery_test.dir/gcs/recovery_test.cpp.o.d"
+  "gcs_recovery_test"
+  "gcs_recovery_test.pdb"
+  "gcs_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_stress_test.dir/gcs/stress_test.cpp.o"
+  "CMakeFiles/gcs_stress_test.dir/gcs/stress_test.cpp.o.d"
+  "gcs_stress_test"
+  "gcs_stress_test.pdb"
+  "gcs_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_wire_test.dir/gcs/wire_test.cpp.o"
+  "CMakeFiles/gcs_wire_test.dir/gcs/wire_test.cpp.o.d"
+  "gcs_wire_test"
+  "gcs_wire_test.pdb"
+  "gcs_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_test.dir/mpeg/movie_test.cpp.o"
+  "CMakeFiles/movie_test.dir/mpeg/movie_test.cpp.o.d"
+  "movie_test"
+  "movie_test.pdb"
+  "movie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/CMakeFiles/scheduler_test.dir/sim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/sim/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ftvod_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftvod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftvod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/ftvod_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpeg/CMakeFiles/ftvod_mpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ftvod_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/vod/CMakeFiles/ftvod_vod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

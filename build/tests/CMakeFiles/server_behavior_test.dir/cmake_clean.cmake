@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_behavior_test.dir/vod/server_behavior_test.cpp.o"
+  "CMakeFiles/server_behavior_test.dir/vod/server_behavior_test.cpp.o.d"
+  "server_behavior_test"
+  "server_behavior_test.pdb"
+  "server_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcr_quality_test.dir/integration/vcr_quality_test.cpp.o"
+  "CMakeFiles/vcr_quality_test.dir/integration/vcr_quality_test.cpp.o.d"
+  "vcr_quality_test"
+  "vcr_quality_test.pdb"
+  "vcr_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcr_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_wire_test.dir/vod/vod_wire_test.cpp.o"
+  "CMakeFiles/vod_wire_test.dir/vod/vod_wire_test.cpp.o.d"
+  "vod_wire_test"
+  "vod_wire_test.pdb"
+  "vod_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
