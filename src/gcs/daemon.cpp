@@ -87,6 +87,37 @@ void Daemon::halt() {
   util::log_info(kLog, "daemon n", self_, " halted");
 }
 
+void Daemon::pause() {
+  if (halted_ || paused_) return;
+  paused_ = true;
+  heartbeat_timer_.stop();
+  fd_timer_.stop();
+  resubmit_timer_.stop();
+  nack_timer_.stop();
+  propose_retry_timer_.cancel();
+  rescue_timer_.cancel();
+  util::log_info(kLog, "daemon n", self_, " paused");
+}
+
+void Daemon::resume() {
+  if (halted_ || !paused_) return;
+  paused_ = false;
+  // Deliberately leave last_heard_ stale: the first fd check suspects every
+  // member the pause outlived, which drives the daemon into a fresh view of
+  // its own; peers re-admit it through the merge path. An in-flight
+  // proposal from before the pause is abandoned the same way.
+  proposal_.reset();
+  pending_install_.reset();
+  heartbeat_timer_.start();
+  fd_timer_.start();
+  resubmit_timer_.start();
+  nack_timer_.start();
+  if (state_ == State::kBlocked) {
+    rescue_timer_.arm(cfg_.blocked_rescue, [this] { on_blocked_rescue(); });
+  }
+  util::log_info(kLog, "daemon n", self_, " resumed");
+}
+
 std::unique_ptr<GroupMember> Daemon::join(std::string group,
                                           GroupCallbacks callbacks) {
   const GcsEndpoint ep{self_, next_local_id_++};
@@ -126,7 +157,7 @@ void Daemon::member_leave(GroupMember& member) {
 
 void Daemon::on_datagram(const net::Endpoint& from,
                          std::span<const std::byte> data) {
-  if (halted_) return;
+  if (halted_ || paused_) return;
   const net::NodeId peer = from.node;
   last_heard_[peer] = sched_->now();
   suspects_.erase(peer);
@@ -168,7 +199,7 @@ void Daemon::on_datagram(const net::Endpoint& from,
 }
 
 void Daemon::send_to(net::NodeId node, const util::Bytes& bytes) {
-  if (halted_ || node == self_) return;
+  if (halted_ || paused_ || node == self_) return;
   socket_->send(net::Endpoint{node, cfg_.port}, bytes);
 }
 
@@ -185,8 +216,8 @@ void Daemon::submit(wire::PayloadKind kind, const std::string& group,
   pending_.emplace(seq, PendingSubmit{seq, kind, group, origin,
                                       std::move(payload)});
   // Send eagerly when unblocked; the resubmit timer covers losses and
-  // coordinator changes.
-  if (state_ == State::kNormal) {
+  // coordinator changes (and drains anything queued while paused).
+  if (state_ == State::kNormal && !paused_) {
     if (view_.id.coord == self_) {
       handle_submit(self_, m);
     } else {

@@ -71,6 +71,16 @@ class Daemon {
   void halt();
   [[nodiscard]] bool halted() const { return halted_; }
 
+  /// Freezes the daemon as if the process were SIGSTOPped: timers stop and
+  /// arriving datagrams are dropped, but all state is kept. Peers will
+  /// suspect it and exclude it from their views. resume() restarts the
+  /// timers; the stale failure-detector timestamps then make the daemon
+  /// install a fresh (typically singleton) view, after which the normal
+  /// merge path re-admits it — exactly the partition-heal flow.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
  private:
   friend class GroupMember;
 
@@ -148,6 +158,7 @@ class Daemon {
   GcsConfig cfg_;
   std::unique_ptr<net::Socket> socket_;
   bool halted_ = false;
+  bool paused_ = false;
   DaemonStats stats_;
 
   State state_ = State::kNormal;

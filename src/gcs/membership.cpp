@@ -70,10 +70,22 @@ void Daemon::handle_heartbeat(net::NodeId from, const wire::Heartbeat& m) {
     // A daemon in a different view: candidate for a merge.
     foreign_[from] = m;
     consider_view_change();
+    return;
   }
-  // A *member* advertising a different view means we missed an install or it
-  // reverted; the merge path will reconcile once it appears foreign to the
-  // new coordinator. Nothing to do here.
+  // A member of our view advertising a view that no longer *contains us*
+  // means we were dropped while unable to notice (classic case: this daemon
+  // was paused past the suspect timeout, and on resume the others' ongoing
+  // heartbeats keep refreshing last_heard_, so we never self-suspect). We
+  // cannot sit this out: the merge rule defers to the lowest candidate id,
+  // which may well be us. Treat the sighting as foreign so the normal
+  // merge path runs from our side too.
+  if (std::find(m.members.begin(), m.members.end(), self_) ==
+      m.members.end()) {
+    foreign_[from] = m;
+    consider_view_change();
+  }
+  // A member advertising a different view that still includes us just means
+  // we missed an install; retransmission repairs that. Nothing to do here.
 }
 
 void Daemon::on_fd_check() {

@@ -57,6 +57,10 @@ void Network::set_quality(NodeId a, NodeId b, const LinkQuality& q) {
   quality_overrides_[std::minmax(a, b)] = q;
 }
 
+void Network::clear_quality(NodeId a, NodeId b) {
+  quality_overrides_.erase(std::minmax(a, b));
+}
+
 const LinkQuality& Network::quality(NodeId a, NodeId b) const {
   auto it = quality_overrides_.find(std::minmax(a, b));
   return it != quality_overrides_.end() ? it->second : default_quality_;

@@ -56,6 +56,9 @@ class Network {
   void set_default_quality(const LinkQuality& q) { default_quality_ = q; }
   /// Symmetric per-pair override.
   void set_quality(NodeId a, NodeId b, const LinkQuality& q);
+  /// Removes a per-pair override, reverting the pair to the default
+  /// quality (used to heal transient link degradations).
+  void clear_quality(NodeId a, NodeId b);
   [[nodiscard]] const LinkQuality& quality(NodeId a, NodeId b) const;
 
   /// Splits the network into components; packets cross components only
@@ -70,6 +73,11 @@ class Network {
   void crash_host(NodeId node);
   void restore_host(NodeId node);
   [[nodiscard]] bool alive(NodeId node) const;
+
+  /// True when a and b are both alive and in the same partition component
+  /// (a host always reaches itself while alive). Exposed so monitors can
+  /// condition liveness expectations on actual connectivity.
+  [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
 
   /// Registers a callback invoked when `node` crashes.
   void on_crash(NodeId node, std::function<void()> listener);
@@ -104,7 +112,6 @@ class Network {
   void hand_off(Endpoint from, Endpoint to, std::shared_ptr<util::Bytes> data,
                 std::size_t wire_size);
   void unbind(const Socket& s);
-  [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
 
   sim::Scheduler* sched_;
   util::Rng* rng_;

@@ -1,0 +1,118 @@
+// Deterministic chaos testing (the correctness backstop for the paper's
+// headline claim that the service survives arbitrary crash/detach/restart
+// sequences). A ChaosPlan is a pure function of (seed, options, topology):
+// a time-ordered schedule of fault events — host crash, restart with
+// recovery, network partition and heal, transient link-quality
+// degradation, GCS daemon pause/resume — with every fault bounded by a
+// matching repair event. A ChaosInjector replays a plan through the
+// deployment's own discrete-event scheduler, so an entire chaotic run is
+// reproducible bit-for-bit from (deployment seed, plan seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/quality.hpp"
+#include "sim/scheduler.hpp"
+#include "vod/service.hpp"
+
+namespace ftvod::testing {
+
+enum class ChaosEventKind : std::uint8_t {
+  kCrash,         // fail-stop of a server host
+  kRestart,       // reboot: restore host, fresh daemon + server, movies back
+  kPartition,     // split the network into {group, everyone else}
+  kHeal,          // remove the partition
+  kDegradeLink,   // transient loss/latency flap on one host pair
+  kRestoreLink,   // back to the default quality
+  kPauseDaemon,   // SIGSTOP the server's GCS daemon
+  kResumeDaemon,  // SIGCONT it
+};
+
+[[nodiscard]] std::string_view to_string(ChaosEventKind k);
+
+struct ChaosEvent {
+  sim::Time at = 0;
+  ChaosEventKind kind = ChaosEventKind::kCrash;
+  net::NodeId a = net::kInvalidNode;  // primary target
+  net::NodeId b = net::kInvalidNode;  // link peer for degrade/restore
+  std::vector<net::NodeId> component;  // one side of a partition
+  net::LinkQuality quality{};          // degraded quality
+};
+
+struct ChaosOptions {
+  /// Faults are drawn in [start, end); repair events may land later.
+  sim::Time start = sim::sec(8.0);
+  sim::Time end = sim::sec(60.0);
+  /// Gap between consecutive fault injections: max(min_gap, Exp(mean_gap)).
+  sim::Duration mean_gap = sim::sec(5.0);
+  sim::Duration min_gap = sim::msec(800);
+
+  /// Nominal fault durations; each drawn duration is jittered ±25 %.
+  sim::Duration crash_downtime = sim::sec(5.0);
+  sim::Duration partition_length = sim::sec(2.5);
+  sim::Duration degrade_length = sim::sec(3.0);
+  sim::Duration pause_length = sim::sec(2.0);
+
+  /// Relative likelihood of each fault class (0 disables the class).
+  double weight_crash = 1.0;
+  double weight_partition = 1.0;
+  double weight_degrade = 1.0;
+  double weight_pause = 1.0;
+
+  /// Crashes and pauses never reduce the healthy-server count below this.
+  std::size_t min_live_servers = 1;
+};
+
+class ChaosPlan {
+ public:
+  /// Generates the schedule. `server_nodes` are crash/restart/pause
+  /// targets; partitions and link flaps draw from `server_nodes` plus
+  /// `client_nodes`. Same arguments -> identical plan, always.
+  static ChaosPlan generate(std::uint64_t seed, const ChaosOptions& opts,
+                            const std::vector<net::NodeId>& server_nodes,
+                            const std::vector<net::NodeId>& client_nodes);
+
+  /// A hand-scripted plan for directed integration tests (e.g. crash the
+  /// same server twice). Events are sorted by time; ties keep input order.
+  static ChaosPlan from_events(std::vector<ChaosEvent> events);
+
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Human-readable event trace, one line per event — printed alongside a
+  /// failing seed so any soak failure is reproducible from the log alone.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<ChaosEvent> events_;
+};
+
+/// Replays a ChaosPlan against a live Deployment. arm() snapshots every
+/// server's catalog (so a restart can re-add the movies, modelling bits
+/// that survived on disk) and schedules all events.
+class ChaosInjector {
+ public:
+  ChaosInjector(vod::Deployment& dep, ChaosPlan plan)
+      : dep_(&dep), plan_(std::move(plan)) {}
+
+  void arm();
+
+  [[nodiscard]] const ChaosPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t events_applied() const { return applied_; }
+
+ private:
+  void apply(const ChaosEvent& e);
+
+  vod::Deployment* dep_;
+  ChaosPlan plan_;
+  std::size_t applied_ = 0;
+  std::map<net::NodeId, std::vector<std::shared_ptr<const mpeg::Movie>>>
+      catalog_snapshot_;
+};
+
+}  // namespace ftvod::testing

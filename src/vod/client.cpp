@@ -94,6 +94,7 @@ void VodClient::on_session_message(const gcs::GcsEndpoint& from,
   connected_ = true;
   open_retry_timer_.cancel();
   last_frame_at_ = sched_->now();
+  last_progress_at_ = sched_->now();  // a (re)connect restarts the clock
   movie_fps_ = reply->fps;
   movie_frames_ = reply->frame_count;
   if (!buffers_) {
@@ -104,6 +105,11 @@ void VodClient::on_session_message(const gcs::GcsEndpoint& from,
   update_display_rate();
   util::log_info(kLog, "client ", client_id_, " connected for '", movie_,
                  "' (", reply->fps, " fps, ", reply->frame_count, " frames)");
+  if (buffers_ && buffers_->last_displayed() >= 0 && !at_end()) {
+    // Reconnect mid-movie: the responding server may have (re)opened the
+    // session at an arbitrary offset. Align it with our actual position.
+    seek(static_cast<std::uint64_t>(buffers_->last_displayed()) + 1);
+  }
 }
 
 void VodClient::on_datagram(const net::Endpoint& from,
@@ -183,6 +189,38 @@ void VodClient::watchdog_tick() {
     last_frame_at_ = sched_->now();
     send_open_request();
     return;
+  }
+  // Wedged-stream recovery: a session can look alive on the wire — frames
+  // arriving and resetting the clock above — while every frame is stale
+  // (a server left transmitting from an old offset after a chaotic run of
+  // view changes, so everything is dropped as late). Key on *display*
+  // progress instead: first try to re-synchronise the existing session
+  // with a seek to our true position; if repeated resyncs go unheard (no
+  // live server in the session group), fall back to a full re-open.
+  if (playing_) {
+    const std::int64_t shown = buffers_->last_displayed();
+    if (shown != last_progress_frame_) {
+      last_progress_frame_ = shown;
+      last_progress_at_ = sched_->now();
+      resync_attempts_ = 0;
+    } else if (!at_end &&
+               sched_->now() - last_progress_at_ > params_.reconnect_timeout) {
+      last_progress_at_ = sched_->now();
+      if (++resync_attempts_ <= 2) {
+        util::log_info(kLog, "client ", client_id_,
+                       " sees no display progress; resyncing at frame ",
+                       shown + 1);
+        seek(static_cast<std::uint64_t>(shown + 1));
+      } else {
+        util::log_info(kLog, "client ", client_id_,
+                       " resyncs went unheard; re-requesting '", movie_, "'");
+        resync_attempts_ = 0;
+        connected_ = false;
+        last_frame_at_ = sched_->now();
+        send_open_request();
+      }
+      return;
+    }
   }
   // Emergencies must fire even when no frames arrive (migration outages,
   // startup, post-seek refills) — the receive path alone cannot see them.

@@ -53,6 +53,14 @@ class VodClient {
   [[nodiscard]] bool playing() const { return playing_; }
   [[nodiscard]] bool paused() const { return paused_; }
   [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+  /// The title requested by watch(), empty before the first watch().
+  [[nodiscard]] const std::string& movie() const { return movie_; }
+  /// True once the display has reached the last frame of the movie.
+  [[nodiscard]] bool at_end() const {
+    return movie_frames_ > 0 && buffers_ &&
+           buffers_->last_displayed() + 1 >=
+               static_cast<std::int64_t>(movie_frames_);
+  }
   [[nodiscard]] const ClientBuffers* buffers() const {
     return buffers_ ? &*buffers_ : nullptr;
   }
@@ -109,6 +117,15 @@ class VodClient {
   sim::Time last_emergency_at_ = -1'000'000'000;
   std::uint8_t last_emergency_tier_ = 255;  // 255 = none outstanding
   sim::Time last_frame_at_ = 0;
+  /// Display-progress tracking for wedged-stream recovery: a session can be
+  /// alive on the wire (frames arriving, resetting last_frame_at_) yet
+  /// useless, e.g. a server left re-transmitting from a stale offset after
+  /// a chaotic sequence of view changes. The watchdog re-synchronises via a
+  /// seek to the actual position, and falls back to a full re-open when the
+  /// resyncs go unheard.
+  std::int64_t last_progress_frame_ = -1;
+  sim::Time last_progress_at_ = 0;
+  int resync_attempts_ = 0;
 
   ClientControlStats control_stats_;
   BufferCounters empty_counters_;  // returned before connection

@@ -10,6 +10,7 @@
 
 #include "net/address.hpp"
 #include "sim/time.hpp"
+#include "vod/redistribution.hpp"
 
 namespace ftvod::vod {
 
@@ -51,6 +52,10 @@ struct VodParams {
   /// servers' client tables (delivered by the periodic sync) before
   /// computing the new assignment. Must exceed sync_period.
   sim::Duration table_exchange_delay = sim::msec(700);
+  /// Remainder policy of the deterministic re-distribution. All servers of
+  /// a movie group must agree on this, or their independently computed
+  /// assignments diverge (the chaos invariant monitor checks exactly that).
+  RebalancePolicy rebalance_policy = RebalancePolicy::kSpread;
 
   // --- transport ----------------------------------------------------------
   net::Port server_data_port = 9000;

@@ -184,7 +184,9 @@ void VodServer::apply_state_sync(net::NodeId from, const wire::StateSync& s) {
     }
     if (ms.rebalance_pending && s.exchange_tag == ms.exchange_tag) {
       ms.pending_tables.erase(from);
-      if (ms.pending_tables.empty()) rebalance_now(s.movie);
+      if (ms.pending_tables.empty()) {
+        rebalance_now(s.movie, /*authoritative=*/true);
+      }
     }
     return;
   }
@@ -201,9 +203,32 @@ void VodServer::apply_state_sync(net::NodeId from, const wire::StateSync& s) {
     ms.records[rec.client_id] = rec;
     ms.owners[rec.client_id] = from;
     ms.absent_counts.erase(rec.client_id);
+
+    // Conflict repair: divergent fallback rebalances can leave two members
+    // both streaming to the same client, and nothing else ever closes the
+    // losing session. When a *lower-id* member keeps claiming a client we
+    // also serve, the higher id yields — both sides apply the same rule, so
+    // exactly one session survives. The threshold rides out transient
+    // hand-off overlap (an in-flight exchange resolves within ~2 syncs).
+    const auto smit = session_movie_.find(rec.client_id);
+    if (from < daemon_->self() && smit != session_movie_.end() &&
+        smit->second == s.movie) {
+      if (++ms.conflict_counts[rec.client_id] >= 3) {
+        ms.conflict_counts.erase(rec.client_id);
+        ++stats_.migrations_out;
+        util::log_info(kLog, "server n", daemon_->self(), " yields client ",
+                       rec.client_id, " to n", from);
+        close_session(rec.client_id, /*client_gone=*/false);
+      }
+    } else {
+      ms.conflict_counts.erase(rec.client_id);
+    }
   }
   for (auto oit = ms.owners.begin(); oit != ms.owners.end();) {
     if (oit->second == from && !reported.contains(oit->first)) {
+      // The claimant dropped this client, so any ownership conflict is
+      // over — the yield counter must only ever see *consecutive* claims.
+      ms.conflict_counts.erase(oit->first);
       if (++ms.absent_counts[oit->first] >= 2) {
         ms.records.erase(oit->first);
         ms.absent_counts.erase(oit->first);
@@ -254,20 +279,25 @@ void VodServer::on_movie_group_view(const std::string& movie,
   // Fallback only for pathological cases (a member crashing mid-round is
   // resolved by the next view change; this timer is belt and braces).
   const std::string name = movie;
-  ms.rebalance_timer.arm(params_.table_exchange_delay,
-                         [this, name] { rebalance_now(name); });
+  ms.rebalance_timer.arm(params_.table_exchange_delay, [this, name] {
+    rebalance_now(name, /*authoritative=*/false);
+  });
 }
 
-void VodServer::rebalance_now(const std::string& movie) {
+void VodServer::rebalance_now(const std::string& movie, bool authoritative) {
   auto it = movies_.find(movie);
   if (it == movies_.end() || halted_) return;
   MovieState& ms = *it->second;
   if (!ms.rebalance_pending) return;
   ms.rebalance_pending = false;
   ms.rebalance_timer.cancel();
+  ms.conflict_counts.clear();  // the new assignment supersedes old conflicts
   ++stats_.rebalances;
 
-  const Assignment next = rebalance(ms.owners, ms.view_servers);
+  const Assignment next =
+      rebalance(ms.owners, ms.view_servers, params_.rebalance_policy);
+  ms.last_rebalance = RebalanceSnapshot{ms.exchange_tag, authoritative,
+                                        ms.view_servers, ms.owners, next};
   for (const auto& [client, owner] : next) {
     const bool serving = sessions_.contains(client);
     if (owner == daemon_->self() && !serving) {
@@ -283,6 +313,20 @@ void VodServer::rebalance_now(const std::string& movie) {
     }
   }
   ms.owners = next;
+}
+
+const RebalanceSnapshot* VodServer::rebalance_snapshot(
+    const std::string& movie) const {
+  auto it = movies_.find(movie);
+  if (it == movies_.end() || it->second->last_rebalance.exchange_tag == 0) {
+    return nullptr;
+  }
+  return &it->second->last_rebalance;
+}
+
+bool VodServer::rebalance_pending(const std::string& movie) const {
+  auto it = movies_.find(movie);
+  return it != movies_.end() && it->second->rebalance_pending;
 }
 
 // --------------------------------------------------------- session handling
@@ -515,6 +559,11 @@ void VodServer::send_tick(std::uint64_t client_id) {
 
 void VodServer::send_sync() {
   if (halted_) return;
+  // A periodic sync is a freshness report. While the control plane is
+  // frozen it cannot leave this host anyway; submitting it would only queue
+  // it in the daemon, to be flushed as a burst of *stale* claims after the
+  // resume-and-merge — which peers would misread as live ownership.
+  if (daemon_->paused()) return;
   for (auto& [name, ms] : movies_) {
     wire::StateSync sync;
     sync.movie = name;

@@ -34,6 +34,24 @@ struct ServerStats {
   std::uint64_t rebalances = 0;
 };
 
+/// The last re-distribution this server computed for one movie, exposed so
+/// an external monitor can assert that all surviving movie-group members
+/// reached the same assignment for the same view (§5.2's determinism
+/// claim). `authoritative` is false when the fallback timer fired before
+/// every member's table arrived — then the inputs were not guaranteed
+/// identical across members and the outputs are not comparable.
+struct RebalanceSnapshot {
+  std::uint64_t exchange_tag = 0;
+  bool authoritative = false;
+  std::vector<net::NodeId> view_servers;
+  /// The owner table the computation ran on. Members may legitimately hold
+  /// slightly different tables for the same exchange (periodic syncs keep
+  /// flowing while the exchange is in flight), so monitors must only
+  /// compare assignments whose inputs were identical.
+  Assignment input_owners;
+  Assignment assignment;
+};
+
 class VodServer {
  public:
   VodServer(sim::Scheduler& sched, net::Network& net, gcs::Daemon& daemon,
@@ -58,6 +76,13 @@ class VodServer {
   }
   [[nodiscard]] const mpeg::Catalog& catalog() const { return catalog_; }
   [[nodiscard]] bool halted() const { return halted_; }
+  /// Monitor accessor: last computed re-distribution for `movie`, or
+  /// nullptr when none ran yet (or the movie is unknown here).
+  [[nodiscard]] const RebalanceSnapshot* rebalance_snapshot(
+      const std::string& movie) const;
+  /// Monitor accessor: true while a view change's table exchange is still
+  /// in flight for `movie` (the assignment is about to be recomputed).
+  [[nodiscard]] bool rebalance_pending(const std::string& movie) const;
 
   /// Graceful detach (§3: a server "crashes or detaches"): leaves the
   /// server group and every movie group, so the remaining servers observe
@@ -102,6 +127,12 @@ class VodServer {
     Assignment owners;
     /// Consecutive owner-syncs that failed to report a client.
     std::map<std::uint64_t, int> absent_counts;
+    /// Consecutive syncs in which a lower-id member claimed a client this
+    /// server is also streaming to. Divergent fallback rebalances can leave
+    /// two members believing they own the same client; after the count
+    /// passes a small threshold the higher-id member yields, restoring the
+    /// single-server invariant deterministically.
+    std::map<std::uint64_t, int> conflict_counts;
     /// Redistribution round state for the current group view. A round is
     /// identified by the exchange tag (derived from the group view); every
     /// member rebalances when it has delivered the tagged table of every
@@ -111,6 +142,7 @@ class VodServer {
     std::set<net::NodeId> pending_tables;
     bool rebalance_pending = false;
     sim::OneShotTimer rebalance_timer;
+    RebalanceSnapshot last_rebalance;
   };
 
   // control-plane handlers
@@ -127,7 +159,7 @@ class VodServer {
 
   void handle_open_request(const wire::OpenRequest& req);
   void apply_state_sync(net::NodeId from, const wire::StateSync& sync);
-  void rebalance_now(const std::string& movie);
+  void rebalance_now(const std::string& movie, bool authoritative);
 
   // session lifecycle
   void open_session(const wire::ClientRecord& rec,

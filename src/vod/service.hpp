@@ -50,11 +50,17 @@ class Deployment {
   }
 
   ServerNode& start_server(net::NodeId node) {
+    return start_server(node, params_);
+  }
+
+  /// Starts a server with its own parameter set (e.g. a mis-configured
+  /// rebalance policy — how the chaos tests provoke assignment divergence).
+  ServerNode& start_server(net::NodeId node, const VodParams& params) {
     auto sn = std::make_unique<ServerNode>();
     sn->node = node;
     sn->daemon = std::make_unique<gcs::Daemon>(sched_, net_, node, gcs_cfg_);
     sn->server =
-        std::make_unique<VodServer>(sched_, net_, *sn->daemon, params_);
+        std::make_unique<VodServer>(sched_, net_, *sn->daemon, params);
     servers_.push_back(std::move(sn));
     return *servers_.back();
   }
@@ -70,6 +76,41 @@ class Deployment {
   }
 
   void crash(net::NodeId node) { net_.crash_host(node); }
+
+  /// The server slot running on `node`, or nullptr.
+  ServerNode* find_server(net::NodeId node) {
+    for (auto& sn : servers_) {
+      if (sn->node == node) return sn.get();
+    }
+    return nullptr;
+  }
+
+  /// Tears down the server process (and its GCS daemon) on `node`,
+  /// freeing its ports. The slot in servers() is kept so indices stay
+  /// stable; restart_server() re-populates it.
+  void stop_server(net::NodeId node) {
+    ServerNode* sn = find_server(node);
+    if (sn == nullptr) return;
+    if (sn->server) sn->server->halt();
+    sn->server.reset();  // before the daemon: it holds group handles
+    sn->daemon.reset();
+  }
+
+  /// Crash recovery ("restart-after-crash"): brings the host back and
+  /// starts a brand-new server process with a fresh GCS daemon on it. The
+  /// old incarnation's state is gone — exactly a reboot. The caller must
+  /// re-add the movies (their bits survived on disk). No-op with nullptr
+  /// result when the node never ran a server.
+  ServerNode* restart_server(net::NodeId node) {
+    ServerNode* sn = find_server(node);
+    if (sn == nullptr) return nullptr;
+    stop_server(node);
+    net_.restore_host(node);
+    sn->daemon = std::make_unique<gcs::Daemon>(sched_, net_, node, gcs_cfg_);
+    sn->server =
+        std::make_unique<VodServer>(sched_, net_, *sn->daemon, params_);
+    return sn;
+  }
 
   sim::Scheduler& scheduler() { return sched_; }
   net::Network& network() { return net_; }

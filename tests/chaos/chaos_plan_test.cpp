@@ -1,0 +1,187 @@
+// ChaosPlan generation is a pure function of (seed, options, topology).
+// These tests pin down that purity plus the structural guarantees the
+// injector and the soak harness rely on: every fault is paired with a
+// later repair, faults only start inside [start, end), and the plan never
+// schedules more simultaneous server outages than min_live_servers allows.
+#include "testing/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ftvod::testing {
+namespace {
+
+const std::vector<net::NodeId> kServers{0, 1, 2};
+const std::vector<net::NodeId> kClients{3, 4};
+
+bool same_event(const ChaosEvent& a, const ChaosEvent& b) {
+  return a.at == b.at && a.kind == b.kind && a.a == b.a && a.b == b.b &&
+         a.component == b.component &&
+         a.quality.base_delay == b.quality.base_delay &&
+         a.quality.jitter == b.quality.jitter &&
+         a.quality.loss == b.quality.loss;
+}
+
+TEST(ChaosPlan, SameSeedSameOptionsSamePlan) {
+  const ChaosOptions opts;
+  for (std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+    const ChaosPlan a = ChaosPlan::generate(seed, opts, kServers, kClients);
+    const ChaosPlan b = ChaosPlan::generate(seed, opts, kServers, kClients);
+    ASSERT_EQ(a.events().size(), b.events().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+      EXPECT_TRUE(same_event(a.events()[i], b.events()[i]))
+          << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+TEST(ChaosPlan, DifferentSeedsDiverge) {
+  const ChaosOptions opts;
+  const ChaosPlan a = ChaosPlan::generate(1, opts, kServers, kClients);
+  const ChaosPlan b = ChaosPlan::generate(2, opts, kServers, kClients);
+  bool differ = a.events().size() != b.events().size();
+  for (std::size_t i = 0; !differ && i < a.events().size(); ++i) {
+    differ = !same_event(a.events()[i], b.events()[i]);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ChaosPlan, PlansAreNonTrivialAndSortedByTime) {
+  const ChaosOptions opts;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, opts, kServers, kClients);
+    EXPECT_GE(plan.events().size(), 4u) << "seed " << seed;
+    for (std::size_t i = 1; i < plan.events().size(); ++i) {
+      EXPECT_LE(plan.events()[i - 1].at, plan.events()[i].at)
+          << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+TEST(ChaosPlan, EveryFaultHasAMatchingLaterRepair) {
+  const ChaosOptions opts;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, opts, kServers, kClients);
+    // Replay the schedule; counters must pair off and end balanced.
+    std::set<net::NodeId> down;
+    std::set<net::NodeId> paused;
+    std::set<std::pair<net::NodeId, net::NodeId>> degraded;
+    int open_partitions = 0;
+    for (const ChaosEvent& e : plan.events()) {
+      SCOPED_TRACE(::testing::Message() << "seed " << seed << " t=" << e.at
+                                        << " " << to_string(e.kind));
+      switch (e.kind) {
+        case ChaosEventKind::kCrash:
+          EXPECT_TRUE(down.insert(e.a).second);  // no double-crash
+          break;
+        case ChaosEventKind::kRestart:
+          EXPECT_EQ(down.erase(e.a), 1u);  // restart only after a crash
+          break;
+        case ChaosEventKind::kPauseDaemon:
+          EXPECT_TRUE(paused.insert(e.a).second);
+          break;
+        case ChaosEventKind::kResumeDaemon:
+          EXPECT_EQ(paused.erase(e.a), 1u);
+          break;
+        case ChaosEventKind::kPartition:
+          EXPECT_FALSE(e.component.empty());
+          EXPECT_LT(e.component.size(), kServers.size() + kClients.size());
+          ++open_partitions;
+          EXPECT_EQ(open_partitions, 1);  // one partition at a time
+          break;
+        case ChaosEventKind::kHeal:
+          --open_partitions;
+          EXPECT_EQ(open_partitions, 0);
+          break;
+        case ChaosEventKind::kDegradeLink:
+          EXPECT_NE(e.a, e.b);
+          EXPECT_TRUE(degraded.insert({e.a, e.b}).second);
+          break;
+        case ChaosEventKind::kRestoreLink:
+          EXPECT_EQ(degraded.erase({e.a, e.b}), 1u);
+          break;
+      }
+    }
+    EXPECT_TRUE(down.empty());
+    EXPECT_TRUE(paused.empty());
+    EXPECT_TRUE(degraded.empty());
+    EXPECT_EQ(open_partitions, 0);
+  }
+}
+
+TEST(ChaosPlan, FaultsStartInsideTheWindow) {
+  ChaosOptions opts;
+  opts.start = sim::sec(5.0);
+  opts.end = sim::sec(30.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, opts, kServers, kClients);
+    for (const ChaosEvent& e : plan.events()) {
+      const bool is_repair = e.kind == ChaosEventKind::kRestart ||
+                             e.kind == ChaosEventKind::kHeal ||
+                             e.kind == ChaosEventKind::kRestoreLink ||
+                             e.kind == ChaosEventKind::kResumeDaemon;
+      EXPECT_GE(e.at, opts.start);
+      if (!is_repair) {
+        EXPECT_LT(e.at, opts.end)
+            << "seed " << seed << " " << to_string(e.kind);
+      }
+    }
+  }
+}
+
+TEST(ChaosPlan, NeverDropsBelowMinLiveServers) {
+  ChaosOptions opts;
+  opts.min_live_servers = 2;
+  opts.mean_gap = sim::sec(1.0);  // dense schedule to stress the guard
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, opts, kServers, kClients);
+    std::set<net::NodeId> unhealthy;  // down or paused
+    for (const ChaosEvent& e : plan.events()) {
+      switch (e.kind) {
+        case ChaosEventKind::kCrash:
+        case ChaosEventKind::kPauseDaemon:
+          unhealthy.insert(e.a);
+          break;
+        case ChaosEventKind::kRestart:
+        case ChaosEventKind::kResumeDaemon:
+          unhealthy.erase(e.a);
+          break;
+        default:
+          break;
+      }
+      EXPECT_GE(kServers.size() - unhealthy.size(), opts.min_live_servers)
+          << "seed " << seed << " at t=" << e.at;
+    }
+  }
+}
+
+TEST(ChaosPlan, ZeroWeightDisablesAFaultClass) {
+  ChaosOptions opts;
+  opts.weight_crash = 0.0;
+  opts.weight_pause = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, opts, kServers, kClients);
+    for (const ChaosEvent& e : plan.events()) {
+      EXPECT_NE(e.kind, ChaosEventKind::kCrash);
+      EXPECT_NE(e.kind, ChaosEventKind::kRestart);
+      EXPECT_NE(e.kind, ChaosEventKind::kPauseDaemon);
+      EXPECT_NE(e.kind, ChaosEventKind::kResumeDaemon);
+    }
+  }
+}
+
+TEST(ChaosPlan, DescribeListsSeedAndEveryEvent) {
+  const ChaosPlan plan = ChaosPlan::generate(42, {}, kServers, kClients);
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("seed=42"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, plan.events().size() + 1);  // header + one per event
+}
+
+}  // namespace
+}  // namespace ftvod::testing

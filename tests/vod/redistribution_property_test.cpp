@@ -1,0 +1,172 @@
+// Seeded randomized property tests for the deterministic re-distribution
+// (§5.2). The correctness of transparent failover rests on every surviving
+// server computing the *same* assignment from the same inputs, so the
+// properties are checked across many random tables and view changes:
+//   * determinism: identical inputs -> identical output, at every "member";
+//   * membership: nobody is ever assigned to a non-member;
+//   * balance: loads within one of each other;
+//   * stability: kStable never moves more sessions than kSpread for the
+//     same view change.
+#include "vod/redistribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ftvod::vod {
+namespace {
+
+struct Scenario {
+  Assignment current;
+  std::vector<net::NodeId> old_servers;
+  std::vector<net::NodeId> new_servers;
+};
+
+/// A random fleet, a random client table consistent with it, and a random
+/// view change (some servers crash, some join).
+Scenario random_scenario(util::Rng& rng) {
+  Scenario sc;
+  const auto n_pool = static_cast<net::NodeId>(rng.uniform_int(1, 8));
+  std::vector<net::NodeId> pool;
+  for (net::NodeId i = 0; i < n_pool; ++i) pool.push_back(i);
+
+  for (net::NodeId s : pool) {
+    if (rng.bernoulli(0.7)) sc.old_servers.push_back(s);
+  }
+  if (sc.old_servers.empty()) sc.old_servers.push_back(pool.front());
+
+  const std::int64_t n_clients = rng.uniform_int(0, 24);
+  for (std::int64_t c = 0; c < n_clients; ++c) {
+    // Most clients sit on a current member; some are already orphaned
+    // (their owner crashed before this round) or brand-new (unserved).
+    net::NodeId owner = net::kInvalidNode;
+    if (rng.bernoulli(0.85)) {
+      owner = sc.old_servers[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(sc.old_servers.size()) - 1))];
+    }
+    sc.current[static_cast<std::uint64_t>(1000 + c)] = owner;
+  }
+
+  // The view change: each pool server is in the new view with p=0.6.
+  for (net::NodeId s : pool) {
+    if (rng.bernoulli(0.6)) sc.new_servers.push_back(s);
+  }
+  std::sort(sc.new_servers.begin(), sc.new_servers.end());
+  return sc;
+}
+
+std::size_t moved_sessions(const Assignment& before, const Assignment& after) {
+  std::size_t moved = 0;
+  for (const auto& [client, owner] : after) {
+    auto it = before.find(client);
+    const net::NodeId old_owner = it == before.end() ? net::kInvalidNode
+                                                     : it->second;
+    if (owner != old_owner) ++moved;
+  }
+  return moved;
+}
+
+class RedistributionProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RedistributionProperty, HoldsForRandomScenarios) {
+  util::Rng rng(GetParam() * 7919 + 13);
+  for (int round = 0; round < 200; ++round) {
+    const Scenario sc = random_scenario(rng);
+    for (const RebalancePolicy policy :
+         {RebalancePolicy::kSpread, RebalancePolicy::kStable}) {
+      const Assignment a = rebalance(sc.current, sc.new_servers, policy);
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << GetParam() << " round=" << round
+                   << " policy="
+                   << (policy == RebalancePolicy::kSpread ? "spread"
+                                                          : "stable")
+                   << " clients=" << sc.current.size()
+                   << " servers=" << sc.new_servers.size());
+
+      // Determinism: every "member" computing independently agrees. The
+      // second computation stands in for any other server running the same
+      // pure function on the same agreed inputs.
+      const Assignment again = rebalance(sc.current, sc.new_servers, policy);
+      EXPECT_EQ(a, again);
+
+      // Every client is covered, none invented.
+      EXPECT_EQ(a.size(), sc.current.size());
+
+      if (sc.new_servers.empty()) {
+        for (const auto& [client, owner] : a) {
+          EXPECT_EQ(owner, net::kInvalidNode);
+        }
+        continue;
+      }
+
+      // Membership + balance-to-within-one.
+      std::map<net::NodeId, std::size_t> load;
+      for (net::NodeId s : sc.new_servers) load[s] = 0;
+      for (const auto& [client, owner] : a) {
+        ASSERT_TRUE(std::binary_search(sc.new_servers.begin(),
+                                       sc.new_servers.end(), owner))
+            << "client " << client << " assigned to non-member n" << owner;
+        ++load[owner];
+      }
+      std::size_t lo = SIZE_MAX;
+      std::size_t hi = 0;
+      for (const auto& [server, n] : load) {
+        lo = std::min(lo, n);
+        hi = std::max(hi, n);
+      }
+      EXPECT_LE(hi - lo, 1u);
+    }
+
+    // Stability: for the same view change, kStable moves no more sessions
+    // than kSpread (it is the minimal-movement remainder policy).
+    if (!sc.new_servers.empty()) {
+      const Assignment spread =
+          rebalance(sc.current, sc.new_servers, RebalancePolicy::kSpread);
+      const Assignment stable =
+          rebalance(sc.current, sc.new_servers, RebalancePolicy::kStable);
+      EXPECT_LE(moved_sessions(sc.current, stable),
+                moved_sessions(sc.current, spread))
+          << "seed=" << GetParam() << " round=" << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedistributionProperty,
+                         ::testing::Range(0u, 5u));
+
+// A freshly joined (empty) server must attract work under kSpread whenever
+// the remainder allows — the paper's "brought up on the fly" behavior.
+TEST(RedistributionProperty, SpreadGivesRemainderToEmptyServer) {
+  util::Rng rng(99);
+  for (int round = 0; round < 100; ++round) {
+    const auto n_old = static_cast<net::NodeId>(rng.uniform_int(1, 5));
+    std::vector<net::NodeId> servers;
+    for (net::NodeId s = 0; s < n_old; ++s) servers.push_back(s);
+    Assignment current;
+    const std::int64_t n_clients =
+        rng.uniform_int(n_old, 6 * static_cast<std::int64_t>(n_old));
+    for (std::int64_t c = 0; c < n_clients; ++c) {
+      current[static_cast<std::uint64_t>(c)] = servers[static_cast<
+          std::size_t>(rng.uniform_int(0, n_old - 1))];
+    }
+    const net::NodeId fresh = n_old;  // joins empty
+    servers.push_back(fresh);
+    const Assignment next =
+        rebalance(current, servers, RebalancePolicy::kSpread);
+    std::size_t fresh_load = 0;
+    for (const auto& [client, owner] : next) {
+      if (owner == fresh) ++fresh_load;
+    }
+    // With at least one client per old server, the fresh server's fair
+    // share (floor) is at least 1 under kSpread.
+    EXPECT_GE(fresh_load,
+              static_cast<std::size_t>(n_clients) / servers.size())
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace ftvod::vod
