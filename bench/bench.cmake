@@ -27,3 +27,4 @@ ftvod_bench(micro_gcs micro_gcs.cpp)
 target_link_libraries(micro_gcs PRIVATE benchmark::benchmark)
 ftvod_bench(ablation_congestion ablation_congestion.cpp)
 ftvod_bench(tab_scalability tab_scalability.cpp)
+ftvod_bench(perf_core perf_core.cpp)
