@@ -28,3 +28,14 @@ target_link_libraries(micro_gcs PRIVATE benchmark::benchmark)
 ftvod_bench(ablation_congestion ablation_congestion.cpp)
 ftvod_bench(tab_scalability tab_scalability.cpp)
 ftvod_bench(perf_core perf_core.cpp)
+
+# Tier-1 smoke: every harness binary must run to completion at miniature
+# scale (FTVOD_BENCH_SMOKE=1) and perf_core must emit parseable JSON.
+add_test(NAME bench_smoke
+  COMMAND ${CMAKE_COMMAND} -DBENCH_DIR=${CMAKE_BINARY_DIR}/bench
+          -P ${CMAKE_SOURCE_DIR}/bench/smoke.cmake
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
+set_tests_properties(bench_smoke PROPERTIES
+  LABELS tier1
+  ENVIRONMENT "FTVOD_BENCH_SMOKE=1"
+  TIMEOUT 120)

@@ -198,7 +198,7 @@ void Daemon::on_datagram(const net::Endpoint& from,
   }
 }
 
-void Daemon::send_to(net::NodeId node, const util::Bytes& bytes) {
+void Daemon::send_to(net::NodeId node, std::span<const std::byte> bytes) {
   if (halted_ || paused_ || node == self_) return;
   socket_->send(net::Endpoint{node, cfg_.port}, bytes);
 }
@@ -221,7 +221,8 @@ void Daemon::submit(wire::PayloadKind kind, const std::string& group,
     if (view_.id.coord == self_) {
       handle_submit(self_, m);
     } else {
-      send_to(view_.id.coord, wire::encode(m));
+      wire::encode_into(m, scratch_);
+      send_to(view_.id.coord, scratch_.buffer());
     }
   }
 }
@@ -240,7 +241,8 @@ void Daemon::flush_pending_submits() {
     if (view_.id.coord == self_) {
       handle_submit(self_, m);
     } else {
-      send_to(view_.id.coord, wire::encode(m));
+      wire::encode_into(m, scratch_);
+      send_to(view_.id.coord, scratch_.buffer());
     }
   }
 }
@@ -286,9 +288,11 @@ void Daemon::order_message(const wire::Submit& m, net::NodeId sender) {
   o.origin = m.origin;
   o.payload = m.payload;
   ++stats_.messages_ordered;
-  const util::Bytes bytes = wire::encode(o);
+  // Encode once, fan out from the scratch buffer; the network copies the
+  // span into its own pooled storage per recipient, so no fresh buffers.
+  wire::encode_into(o, scratch_);
   for (net::NodeId member : view_.members) {
-    if (member != self_) send_to(member, bytes);
+    if (member != self_) send_to(member, scratch_.buffer());
   }
   handle_ordered(o);
 }
@@ -406,7 +410,8 @@ void Daemon::maybe_nack() {
   }
   if (holder == self_ || holder == net::kInvalidNode) return;
   wire::RetransReq req{view_.id, next_deliver_gseq_, want_upto};
-  send_to(holder, wire::encode(req));
+  wire::encode_into(req, scratch_);
+  send_to(holder, scratch_.buffer());
 }
 
 void Daemon::handle_retrans_req(net::NodeId from, const wire::RetransReq& m) {
@@ -416,7 +421,8 @@ void Daemon::handle_retrans_req(net::NodeId from, const wire::RetransReq& m) {
        it != retention_.end() && it->first <= m.to_gseq &&
        sent < kMaxRetransBatch;
        ++it, ++sent) {
-    send_to(from, wire::encode(it->second));
+    wire::encode_into(it->second, scratch_);
+    send_to(from, scratch_.buffer());
     ++stats_.retransmissions;
   }
 }

@@ -106,7 +106,7 @@ class Daemon {
 
   // ---- socket / dispatch ----
   void on_datagram(const net::Endpoint& from, std::span<const std::byte> data);
-  void send_to(net::NodeId node, const util::Bytes& bytes);
+  void send_to(net::NodeId node, std::span<const std::byte> bytes);
 
   // ---- sending / ordering ----
   void submit(wire::PayloadKind kind, const std::string& group,
@@ -157,6 +157,10 @@ class Daemon {
   net::NodeId self_;
   GcsConfig cfg_;
   std::unique_ptr<net::Socket> socket_;
+  /// Reused encode buffer for per-peer fan-out (heartbeats, Ordered,
+  /// submits, retransmissions). All reads of it finish before any call that
+  /// could re-enter the daemon, so one scratch writer suffices.
+  util::Writer scratch_;
   bool halted_ = false;
   bool paused_ = false;
   DaemonStats stats_;

@@ -39,9 +39,9 @@ void Daemon::on_heartbeat_timer() {
     trim_retention(safe_upto_);
   }
   hb.safe_upto = safe_upto_;
-  const util::Bytes bytes = wire::encode(hb);
+  wire::encode_into(hb, scratch_);
   for (net::NodeId peer : cfg_.peers) {
-    if (peer != self_) send_to(peer, bytes);
+    if (peer != self_) send_to(peer, scratch_.buffer());
   }
 }
 

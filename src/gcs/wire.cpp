@@ -64,10 +64,9 @@ std::vector<GroupReg> get_regs(util::Reader& r) {
   return out;
 }
 
-util::Writer header(MsgType t) {
-  util::Writer w;
+void begin(util::Writer& w, MsgType t) {
+  w.clear();
   w.u8(static_cast<std::uint8_t>(t));
-  return w;
 }
 
 /// Checks the tag and returns a reader positioned after it.
@@ -89,12 +88,17 @@ std::optional<MsgType> peek_type(std::span<const std::byte> data) {
   return static_cast<MsgType>(t);
 }
 
-util::Bytes encode(const Heartbeat& m) {
-  util::Writer w = header(MsgType::kHeartbeat);
+void encode_into(const Heartbeat& m, util::Writer& w) {
+  begin(w, MsgType::kHeartbeat);
   put_view_id(w, m.view);
   put_nodes(w, m.members);
   w.u64(m.delivered_upto);
   w.u64(m.safe_upto);
+}
+
+util::Bytes encode(const Heartbeat& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -110,14 +114,19 @@ std::optional<Heartbeat> decode_heartbeat(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const Submit& m) {
-  util::Writer w = header(MsgType::kSubmit);
+void encode_into(const Submit& m, util::Writer& w) {
+  begin(w, MsgType::kSubmit);
   put_view_id(w, m.view);
   w.u64(m.sender_seq);
   w.u8(static_cast<std::uint8_t>(m.kind));
   w.str(m.group);
   put_endpoint(w, m.origin);
   w.blob(m.payload);
+}
+
+util::Bytes encode(const Submit& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -135,8 +144,8 @@ std::optional<Submit> decode_submit(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const Ordered& m) {
-  util::Writer w = header(MsgType::kOrdered);
+void encode_into(const Ordered& m, util::Writer& w) {
+  begin(w, MsgType::kOrdered);
   put_view_id(w, m.view);
   w.u64(m.gseq);
   w.u32(m.sender);
@@ -145,6 +154,11 @@ util::Bytes encode(const Ordered& m) {
   w.str(m.group);
   put_endpoint(w, m.origin);
   w.blob(m.payload);
+}
+
+util::Bytes encode(const Ordered& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -164,11 +178,16 @@ std::optional<Ordered> decode_ordered(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const RetransReq& m) {
-  util::Writer w = header(MsgType::kRetransReq);
+void encode_into(const RetransReq& m, util::Writer& w) {
+  begin(w, MsgType::kRetransReq);
   put_view_id(w, m.view);
   w.u64(m.from_gseq);
   w.u64(m.to_gseq);
+}
+
+util::Bytes encode(const RetransReq& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -183,10 +202,15 @@ std::optional<RetransReq> decode_retrans_req(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const Propose& m) {
-  util::Writer w = header(MsgType::kPropose);
+void encode_into(const Propose& m, util::Writer& w) {
+  begin(w, MsgType::kPropose);
   put_view_id(w, m.pv);
   put_nodes(w, m.members);
+}
+
+util::Bytes encode(const Propose& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -200,13 +224,18 @@ std::optional<Propose> decode_propose(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const ProposeAck& m) {
-  util::Writer w = header(MsgType::kProposeAck);
+void encode_into(const ProposeAck& m, util::Writer& w) {
+  begin(w, MsgType::kProposeAck);
   put_view_id(w, m.pv);
   put_view_id(w, m.old_view);
   w.u64(m.delivered_upto);
   w.u64(m.next_submit_seq);
   put_regs(w, m.regs);
+}
+
+util::Bytes encode(const ProposeAck& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -223,8 +252,8 @@ std::optional<ProposeAck> decode_propose_ack(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const FlushTarget& m) {
-  util::Writer w = header(MsgType::kFlushTarget);
+void encode_into(const FlushTarget& m, util::Writer& w) {
+  begin(w, MsgType::kFlushTarget);
   put_view_id(w, m.pv);
   w.u32(static_cast<std::uint32_t>(m.entries.size()));
   for (const auto& e : m.entries) {
@@ -232,6 +261,11 @@ util::Bytes encode(const FlushTarget& m) {
     w.u64(e.target);
     w.u32(e.holder);
   }
+}
+
+util::Bytes encode(const FlushTarget& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -254,10 +288,15 @@ std::optional<FlushTarget> decode_flush_target(
   return m;
 }
 
-util::Bytes encode(const FlushDone& m) {
-  util::Writer w = header(MsgType::kFlushDone);
+void encode_into(const FlushDone& m, util::Writer& w) {
+  begin(w, MsgType::kFlushDone);
   put_view_id(w, m.pv);
   w.u64(m.delivered_upto);
+}
+
+util::Bytes encode(const FlushDone& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -271,8 +310,8 @@ std::optional<FlushDone> decode_flush_done(std::span<const std::byte> data) {
   return m;
 }
 
-util::Bytes encode(const Install& m) {
-  util::Writer w = header(MsgType::kInstall);
+void encode_into(const Install& m, util::Writer& w) {
+  begin(w, MsgType::kInstall);
   put_view_id(w, m.pv);
   put_nodes(w, m.members);
   put_regs(w, m.group_table);
@@ -281,6 +320,11 @@ util::Bytes encode(const Install& m) {
     w.u32(node);
     w.u64(seq);
   }
+}
+
+util::Bytes encode(const Install& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 

@@ -114,6 +114,20 @@ struct Install {
   std::vector<std::pair<net::NodeId, std::uint64_t>> submit_seqs;
 };
 
+/// encode_into() clears `w` and encodes into it, reusing the writer's
+/// capacity — the allocation-free path for the daemon's per-peer fan-out
+/// (heartbeats every interval, Ordered to every view member). encode() is
+/// the convenience wrapper returning a fresh buffer.
+void encode_into(const Heartbeat& m, util::Writer& w);
+void encode_into(const Submit& m, util::Writer& w);
+void encode_into(const Ordered& m, util::Writer& w);
+void encode_into(const RetransReq& m, util::Writer& w);
+void encode_into(const Propose& m, util::Writer& w);
+void encode_into(const ProposeAck& m, util::Writer& w);
+void encode_into(const FlushTarget& m, util::Writer& w);
+void encode_into(const FlushDone& m, util::Writer& w);
+void encode_into(const Install& m, util::Writer& w);
+
 util::Bytes encode(const Heartbeat& m);
 util::Bytes encode(const Submit& m);
 util::Bytes encode(const Ordered& m);

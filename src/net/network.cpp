@@ -16,9 +16,9 @@ Socket::~Socket() {
   if (net_ != nullptr) net_->unbind(*this);
 }
 
-void Socket::send(const Endpoint& to, util::Bytes payload,
+void Socket::send(const Endpoint& to, std::span<const std::byte> payload,
                   std::size_t padding_bytes) {
-  net_->send_from_socket(*this, to, std::move(payload), padding_bytes);
+  net_->send_from_socket(*this, to, payload, padding_bytes);
 }
 
 NodeId Network::add_host(std::string name, HostConfig cfg) {
@@ -26,6 +26,9 @@ NodeId Network::add_host(std::string name, HostConfig cfg) {
   h.name = std::move(name);
   h.cfg = cfg;
   hosts_.push_back(std::move(h));
+  // Late joiners land in the implicit component of the current partition
+  // (or component 0 when the network is whole).
+  component_.push_back(implicit_component_);
   return static_cast<NodeId>(hosts_.size() - 1);
 }
 
@@ -67,22 +70,31 @@ const LinkQuality& Network::quality(NodeId a, NodeId b) const {
 }
 
 void Network::partition(const std::vector<std::set<NodeId>>& components) {
-  partition_ = components;
+  partitioned_ = !components.empty();
+  implicit_component_ =
+      partitioned_ ? static_cast<std::uint32_t>(components.size()) : 0;
+  // Hosts absent from every listed component form one implicit component.
+  component_.assign(hosts_.size(), implicit_component_);
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    for (const NodeId n : components[i]) {
+      // First listing wins, matching the original component scan order.
+      if (n < component_.size() && component_[n] == implicit_component_) {
+        component_[n] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
 }
 
-void Network::heal() { partition_.clear(); }
+void Network::heal() {
+  partitioned_ = false;
+  implicit_component_ = 0;
+  component_.assign(hosts_.size(), 0);
+}
 
 bool Network::reachable(NodeId a, NodeId b) const {
   if (!alive(a) || !alive(b)) return false;
-  if (partition_.empty() || a == b) return true;
-  // Hosts absent from every listed component form one implicit component.
-  auto component_of = [&](NodeId n) -> int {
-    for (std::size_t i = 0; i < partition_.size(); ++i) {
-      if (partition_[i].contains(n)) return static_cast<int>(i);
-    }
-    return -1;
-  };
-  return component_of(a) == component_of(b);
+  if (!partitioned_ || a == b) return true;
+  return component_[a] == component_[b];
 }
 
 void Network::crash_host(NodeId node) {
@@ -99,7 +111,10 @@ void Network::crash_host(NodeId node) {
 void Network::restore_host(NodeId node) {
   Host& h = hosts_.at(node);
   h.alive = true;
+  // Both directions restart idle: traffic queued before the crash must not
+  // serialize into the revived host's link budget.
   h.uplink_free_at = sched_->now();
+  h.downlink_free_at = sched_->now();
   util::log_info(kLog, "host ", h.name, " (n", node, ") restored");
 }
 
@@ -113,8 +128,30 @@ const HostStats& Network::stats(NodeId node) const {
   return hosts_.at(node).stats;
 }
 
+Network::PayloadBuffer* Network::acquire_buffer(
+    std::span<const std::byte> payload) {
+  PayloadBuffer* b;
+  if (!buffer_free_.empty()) {
+    b = buffer_free_.back();
+    buffer_free_.pop_back();
+  } else {
+    buffer_slab_.push_back(std::make_unique<PayloadBuffer>());
+    b = buffer_slab_.back().get();
+  }
+  b->bytes.assign(payload.begin(), payload.end());  // reuses capacity
+  b->refs = 0;
+  return b;
+}
+
+void Network::release_ref(PayloadBuffer* data) {
+  if (--data->refs == 0) {
+    data->bytes.clear();
+    buffer_free_.push_back(data);
+  }
+}
+
 void Network::send_from_socket(Socket& src, const Endpoint& to,
-                               util::Bytes payload,
+                               std::span<const std::byte> payload,
                                std::size_t padding_bytes) {
   const Endpoint from = src.local();
   Host& h = hosts_.at(from.node);
@@ -155,7 +192,7 @@ void Network::send_from_socket(Socket& src, const Endpoint& to,
     return;
   }
 
-  auto data = std::make_shared<util::Bytes>(std::move(payload));
+  PayloadBuffer* data = acquire_buffer(payload);
   const int copies = rng_->bernoulli(q.duplicate) ? 2 : 1;
   for (int i = 0; i < copies; ++i) {
     const sim::Duration jitter =
@@ -163,21 +200,25 @@ void Network::send_from_socket(Socket& src, const Endpoint& to,
                            rng_->uniform(0.0, static_cast<double>(q.jitter)))
                      : 0;
     const sim::Time arrival = departure + q.base_delay + jitter;
+    ++data->refs;
     sched_->at(arrival, [this, from, to, data, wire_size] {
       deliver(from, to, data, wire_size);
     });
   }
 }
 
-void Network::deliver(Endpoint from, Endpoint to,
-                      std::shared_ptr<util::Bytes> data,
+void Network::deliver(Endpoint from, Endpoint to, PayloadBuffer* data,
                       std::size_t wire_size) {
-  if (to.node >= hosts_.size()) return;
+  if (to.node >= hosts_.size()) {
+    release_ref(data);
+    return;
+  }
   Host& h = hosts_[to.node];
   // Re-check at arrival time: the destination may have crashed or been
   // partitioned away while the packet was in flight.
   if (!h.alive || !reachable(from.node, to.node)) {
     ++h.stats.dropped_unreachable;
+    release_ref(data);
     return;
   }
   // Downlink serialization: arriving datagrams share the receiver's
@@ -188,33 +229,40 @@ void Network::deliver(Endpoint from, Endpoint to,
       static_cast<double>(start - now) * h.cfg.downlink_bps / 8e6;
   if (queued_bytes > static_cast<double>(h.cfg.downlink_queue_bytes)) {
     ++h.stats.dropped_queue;
+    release_ref(data);
     return;
   }
   const auto serialize_us = static_cast<sim::Duration>(
       static_cast<double>(wire_size) * 8e6 / h.cfg.downlink_bps);
   h.downlink_free_at = start + std::max<sim::Duration>(serialize_us, 1);
   if (h.downlink_free_at == now + 1 && start == now) {
-    // Fast path: an idle, effectively-unlimited downlink.
-    hand_off(from, to, std::move(data), wire_size);
+    // Fast path: an idle, effectively-unlimited downlink. The reference
+    // transfers to hand_off.
+    hand_off(from, to, data, wire_size);
     return;
   }
+  // The reference travels with the rescheduled delivery.
   sched_->at(h.downlink_free_at, [this, from, to, data, wire_size] {
     hand_off(from, to, data, wire_size);
   });
 }
 
-void Network::hand_off(Endpoint from, Endpoint to,
-                       std::shared_ptr<util::Bytes> data,
+void Network::hand_off(Endpoint from, Endpoint to, PayloadBuffer* data,
                        std::size_t wire_size) {
-  if (to.node >= hosts_.size()) return;
+  if (to.node >= hosts_.size()) {
+    release_ref(data);
+    return;
+  }
   Host& h = hosts_[to.node];
   if (!h.alive || !reachable(from.node, to.node)) {
     ++h.stats.dropped_unreachable;
+    release_ref(data);
     return;
   }
   auto it = h.sockets.find(to.port);
   if (it == h.sockets.end()) {
     ++h.stats.dropped_unreachable;
+    release_ref(data);
     return;
   }
   ++h.stats.datagrams_received;
@@ -222,7 +270,10 @@ void Network::hand_off(Endpoint from, Endpoint to,
   Socket* sock = it->second;
   ++sock->stats_.datagrams_received;
   sock->stats_.bytes_received += wire_size;
-  if (sock->handler_) sock->handler_(from, *data);
+  // Dispatch before releasing: the handler may itself send, which can pop
+  // the free list, but this buffer is still referenced until after return.
+  if (sock->handler_) sock->handler_(from, data->bytes);
+  release_ref(data);
 }
 
 }  // namespace ftvod::net

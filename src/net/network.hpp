@@ -103,22 +103,45 @@ class Network {
     HostStats stats;
   };
 
-  void send_from_socket(Socket& src, const Endpoint& to, util::Bytes payload,
+  /// In-flight payload storage. Buffers are pooled and intrusively
+  /// refcounted: each scheduled (or directly invoked) delivery holds one
+  /// reference, and the buffer returns to the free list — capacity intact —
+  /// when the last copy is dispatched or dropped. This keeps the per-packet
+  /// path free of heap allocations in steady state (no shared_ptr control
+  /// blocks, no fresh byte vectors).
+  struct PayloadBuffer {
+    util::Bytes bytes;
+    std::uint32_t refs = 0;
+  };
+
+  void send_from_socket(Socket& src, const Endpoint& to,
+                        std::span<const std::byte> payload,
                         std::size_t padding_bytes);
   /// Link arrival: applies downlink serialization/queueing, then hands off.
-  void deliver(Endpoint from, Endpoint to, std::shared_ptr<util::Bytes> data,
+  /// Consumes one reference on `data`.
+  void deliver(Endpoint from, Endpoint to, PayloadBuffer* data,
                std::size_t wire_size);
-  /// Final dispatch to the bound socket.
-  void hand_off(Endpoint from, Endpoint to, std::shared_ptr<util::Bytes> data,
+  /// Final dispatch to the bound socket. Consumes one reference on `data`.
+  void hand_off(Endpoint from, Endpoint to, PayloadBuffer* data,
                 std::size_t wire_size);
   void unbind(const Socket& s);
+
+  PayloadBuffer* acquire_buffer(std::span<const std::byte> payload);
+  void release_ref(PayloadBuffer* data);
 
   sim::Scheduler* sched_;
   util::Rng* rng_;
   std::vector<Host> hosts_;
   LinkQuality default_quality_{};
   std::map<std::pair<NodeId, NodeId>, LinkQuality> quality_overrides_;
-  std::vector<std::set<NodeId>> partition_;
+  // Partition state as a per-host component id: reachable() is O(1) instead
+  // of scanning component sets per packet. Hosts not named by partition()
+  // share the implicit component id (== number of explicit components).
+  bool partitioned_ = false;
+  std::uint32_t implicit_component_ = 0;
+  std::vector<std::uint32_t> component_;
+  std::vector<std::unique_ptr<PayloadBuffer>> buffer_slab_;
+  std::vector<PayloadBuffer*> buffer_free_;
   std::uint64_t total_wire_bytes_ = 0;
 };
 

@@ -30,9 +30,11 @@ class Socket {
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  /// Sends a datagram. `padding_bytes` inflates the accounted wire size
-  /// without carrying real bytes (used for synthetic video frame bodies).
-  void send(const Endpoint& to, util::Bytes payload,
+  /// Sends a datagram. The payload is copied into a network-owned pooled
+  /// buffer, so the caller keeps (and may immediately reuse) its own bytes.
+  /// `padding_bytes` inflates the accounted wire size without carrying real
+  /// bytes (used for synthetic video frame bodies).
+  void send(const Endpoint& to, std::span<const std::byte> payload,
             std::size_t padding_bytes = 0);
 
   [[nodiscard]] Endpoint local() const { return local_; }

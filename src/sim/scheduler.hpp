@@ -1,37 +1,47 @@
 // Discrete-event scheduler: a priority queue of (time, callback) events with
 // deterministic FIFO ordering among same-time events.
+//
+// Storage is a slab: callbacks live in recycled slots addressed by
+// {index, generation} handles, and the heap orders 24-byte entries, so
+// steady-state scheduling (arm, fire, cancel, re-arm) performs zero heap
+// allocations once the slab and heap vectors reach their high-water
+// capacity. Cancellation leaves a tombstone in the heap; tombstones are
+// popped lazily and never counted as executed events nor allowed to drag
+// the clock past a run_until() horizon.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/small_function.hpp"
 
 namespace ftvod::sim {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capacity covers every hot-path lambda in the library (the
+  /// largest is the network's delivery closure at ~40 bytes); anything
+  /// bigger degrades gracefully to one heap allocation.
+  using Callback = util::SmallFunction<void(), 64>;
 
   /// Cancellation token for a scheduled event. Copyable; cancelling any copy
-  /// cancels the event. A default-constructed handle is inert.
+  /// cancels the event. A default-constructed handle is inert. Handles must
+  /// not outlive the Scheduler that issued them.
   class EventHandle {
    public:
     EventHandle() = default;
-    void cancel() {
-      if (cancelled_) *cancelled_ = true;
-    }
+    void cancel();
     /// True when the event is still scheduled to fire.
-    [[nodiscard]] bool pending() const { return cancelled_ && !*cancelled_; }
+    [[nodiscard]] bool pending() const;
 
    private:
     friend class Scheduler;
-    explicit EventHandle(std::shared_ptr<bool> cancelled)
-        : cancelled_(std::move(cancelled)) {}
-    std::shared_ptr<bool> cancelled_;
+    EventHandle(Scheduler* sched, std::uint32_t index, std::uint32_t gen)
+        : sched_(sched), index_(index), generation_(gen) {}
+    Scheduler* sched_ = nullptr;
+    std::uint32_t index_ = 0;
+    std::uint32_t generation_ = 0;
   };
 
   Scheduler() = default;
@@ -54,27 +64,63 @@ class Scheduler {
   /// Runs all events in the next d microseconds of virtual time.
   std::size_t run_for(Duration d) { return run_until(now_ + d); }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Number of live (non-cancelled) scheduled events.
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  /// Heap fan-out; see the note above heap_push() in scheduler.cpp.
+  static constexpr std::size_t kArity = 4;
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNil;
+    bool cancelled = false;
+    bool in_use = false;
+  };
+
+  struct HeapEntry {
     Time t;
     std::uint64_t seq;  // tie-break: same-time events run in schedule order
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+  /// Pops tombstones (cancelled events) off the heap top.
+  void drop_cancelled();
+
+  [[nodiscard]] bool slot_pending(std::uint32_t index,
+                                  std::uint32_t gen) const {
+    return index < slots_.size() && slots_[index].generation == gen &&
+           slots_[index].in_use && !slots_[index].cancelled;
+  }
+  void cancel_slot(std::uint32_t index, std::uint32_t gen);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<HeapEntry> heap_;
 };
+
+inline void Scheduler::EventHandle::cancel() {
+  if (sched_ != nullptr) sched_->cancel_slot(index_, generation_);
+}
+
+inline bool Scheduler::EventHandle::pending() const {
+  return sched_ != nullptr && sched_->slot_pending(index_, generation_);
+}
 
 }  // namespace ftvod::sim

@@ -2,7 +2,7 @@
 
 namespace ftvod::sim {
 
-void OneShotTimer::arm(Duration delay, std::function<void()> fn) {
+void OneShotTimer::arm(Duration delay, Scheduler::Callback fn) {
   cancel();
   handle_ = sched_->after(delay, std::move(fn));
 }

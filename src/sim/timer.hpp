@@ -16,7 +16,7 @@ class OneShotTimer {
   OneShotTimer(const OneShotTimer&) = delete;
   OneShotTimer& operator=(const OneShotTimer&) = delete;
 
-  void arm(Duration delay, std::function<void()> fn);
+  void arm(Duration delay, Scheduler::Callback fn);
   void cancel() { handle_.cancel(); }
   [[nodiscard]] bool pending() const { return handle_.pending(); }
 

@@ -21,6 +21,9 @@ using Bytes = std::vector<std::byte>;
 class Writer {
  public:
   Writer() = default;
+  /// Adopts an existing buffer's capacity (cleared first). Pairs with
+  /// take() to recycle one allocation across many encodes.
+  explicit Writer(Bytes buf) : buf_(std::move(buf)) { buf_.clear(); }
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -36,6 +39,11 @@ class Writer {
   void blob(std::span<const std::byte> v);
   /// Raw bytes, no length prefix.
   void raw(std::span<const std::byte> v);
+
+  /// Empties the buffer but keeps its capacity — the reuse idiom for
+  /// per-message encoding on hot paths: clear(), encode_into(), send.
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
   [[nodiscard]] Bytes take() { return std::move(buf_); }

@@ -1,0 +1,124 @@
+// Move-only callable wrapper with small-buffer-optimized storage.
+//
+// std::function heap-allocates any callable larger than its tiny internal
+// buffer (16 bytes in libstdc++) and deep-copies it whenever the wrapper is
+// copied — on the simulation hot path that is several mallocs per scheduled
+// event. SmallFunction stores callables up to `Inline` bytes in place, is
+// move-only (so a misplaced copy is a compile error, not a hidden
+// allocation), and falls back to the heap only for oversized or
+// throwing-move callables.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ftvod::util {
+
+template <typename Signature, std::size_t Inline = 64>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Inline>
+class SmallFunction<R(Args...), Inline> {
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stored_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { take(std::move(other)); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vt_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when a callable of type F lives in the inline buffer (exposed so
+  /// tests can assert the hot-path lambdas never spill to the heap).
+  template <typename F>
+  static constexpr bool stored_inline =
+      sizeof(F) <= Inline && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s, Args&&... a) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(a)...);
+      },
+      [](void* src, void* dst) {
+        D* p = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*p));
+        p->~D();
+      },
+      [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s, Args&&... a) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(a)...);
+      },
+      [](void* src, void* dst) {
+        D** p = std::launder(reinterpret_cast<D**>(src));
+        ::new (dst) D*(*p);
+        *p = nullptr;
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); }};
+
+  void take(SmallFunction&& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->relocate(other.storage_, storage_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Inline];
+  const Ops* vt_ = nullptr;
+};
+
+}  // namespace ftvod::util

@@ -547,11 +547,13 @@ void VodServer::send_tick(std::uint64_t client_id) {
 
   const mpeg::FrameInfo frame = s.movie->frame(s.rec.next_frame);
   wire::Frame msg{client_id, frame.index, frame.type, frame.size_bytes};
-  const util::Bytes payload = wire::encode(msg);
-  const std::size_t padding =
-      frame.size_bytes > payload.size() ? frame.size_bytes - payload.size()
-                                        : 0;
-  data_socket_->send(s.rec.data_endpoint, payload, padding);
+  // Encode into the server-lifetime scratch writer: the per-frame hot path
+  // touches no heap once the writer and the network's buffer pool are warm.
+  wire::encode_into(msg, frame_writer_);
+  const std::size_t padding = frame.size_bytes > frame_writer_.size()
+                                  ? frame.size_bytes - frame_writer_.size()
+                                  : 0;
+  data_socket_->send(s.rec.data_endpoint, frame_writer_.buffer(), padding);
   ++stats_.frames_sent;
   ++s.rec.next_frame;
   arm_send_timer(s);

@@ -180,6 +180,9 @@ class VodServer {
 
   mpeg::Catalog catalog_;
   std::unique_ptr<net::Socket> data_socket_;
+  /// Reused per-frame encode buffer for send_tick; the socket copies the
+  /// span into the network's pooled storage, so this stays warm forever.
+  util::Writer frame_writer_;
   std::unique_ptr<gcs::GroupMember> server_group_;
   std::map<std::string, std::unique_ptr<MovieState>> movies_;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;

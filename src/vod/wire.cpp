@@ -4,10 +4,9 @@ namespace ftvod::vod::wire {
 
 namespace {
 
-util::Writer header(MsgType t) {
-  util::Writer w;
+void begin(util::Writer& w, MsgType t) {
+  w.clear();
   w.u8(static_cast<std::uint8_t>(t));
-  return w;
 }
 
 std::optional<util::Reader> body(std::span<const std::byte> data, MsgType t) {
@@ -40,12 +39,17 @@ std::optional<MsgType> peek_type(std::span<const std::byte> data) {
   return static_cast<MsgType>(t);
 }
 
-util::Bytes encode(const OpenRequest& m) {
-  util::Writer w = header(MsgType::kOpenRequest);
+void encode_into(const OpenRequest& m, util::Writer& w) {
+  begin(w, MsgType::kOpenRequest);
   w.u64(m.client_id);
   w.str(m.movie);
   put_endpoint(w, m.data_endpoint);
   w.f64(m.capability_fps);
+}
+
+util::Bytes encode(const OpenRequest& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -61,13 +65,18 @@ std::optional<OpenRequest> decode_open_request(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const OpenReply& m) {
-  util::Writer w = header(MsgType::kOpenReply);
+void encode_into(const OpenReply& m, util::Writer& w) {
+  begin(w, MsgType::kOpenReply);
   w.u64(m.client_id);
   w.str(m.movie);
   w.f64(m.fps);
   w.u64(m.frame_count);
   w.u32(m.avg_frame_bytes);
+}
+
+util::Bytes encode(const OpenReply& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -84,10 +93,15 @@ std::optional<OpenReply> decode_open_reply(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const Flow& m) {
-  util::Writer w = header(MsgType::kFlow);
+void encode_into(const Flow& m, util::Writer& w) {
+  begin(w, MsgType::kFlow);
   w.u64(m.client_id);
   w.u8(static_cast<std::uint8_t>(m.delta));
+}
+
+util::Bytes encode(const Flow& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -101,10 +115,15 @@ std::optional<Flow> decode_flow(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const Emergency& m) {
-  util::Writer w = header(MsgType::kEmergency);
+void encode_into(const Emergency& m, util::Writer& w) {
+  begin(w, MsgType::kEmergency);
   w.u64(m.client_id);
   w.u8(m.tier);
+}
+
+util::Bytes encode(const Emergency& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -118,11 +137,16 @@ std::optional<Emergency> decode_emergency(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const Vcr& m) {
-  util::Writer w = header(MsgType::kVcr);
+void encode_into(const Vcr& m, util::Writer& w) {
+  begin(w, MsgType::kVcr);
   w.u64(m.client_id);
   w.u8(static_cast<std::uint8_t>(m.op));
   w.u64(m.seek_frame);
+}
+
+util::Bytes encode(const Vcr& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -137,10 +161,15 @@ std::optional<Vcr> decode_vcr(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const SetQuality& m) {
-  util::Writer w = header(MsgType::kSetQuality);
+void encode_into(const SetQuality& m, util::Writer& w) {
+  begin(w, MsgType::kSetQuality);
   w.u64(m.client_id);
   w.f64(m.fps);
+}
+
+util::Bytes encode(const SetQuality& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -154,8 +183,8 @@ std::optional<SetQuality> decode_set_quality(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const StateSync& m) {
-  util::Writer w = header(MsgType::kStateSync);
+void encode_into(const StateSync& m, util::Writer& w) {
+  begin(w, MsgType::kStateSync);
   w.str(m.movie);
   w.u64(m.exchange_tag);
   w.u32(static_cast<std::uint32_t>(m.clients.size()));
@@ -168,6 +197,11 @@ util::Bytes encode(const StateSync& m) {
     w.f64(c.capability_fps);
     w.boolean(c.paused);
   }
+}
+
+util::Bytes encode(const StateSync& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 
@@ -195,12 +229,17 @@ std::optional<StateSync> decode_state_sync(std::span<const std::byte> d) {
   return m;
 }
 
-util::Bytes encode(const Frame& m) {
-  util::Writer w = header(MsgType::kFrame);
+void encode_into(const Frame& m, util::Writer& w) {
+  begin(w, MsgType::kFrame);
   w.u64(m.client_id);
   w.u64(m.frame_index);
   w.u8(static_cast<std::uint8_t>(m.type));
   w.u32(m.size_bytes);
+}
+
+util::Bytes encode(const Frame& m) {
+  util::Writer w;
+  encode_into(m, w);
   return w.take();
 }
 

@@ -97,6 +97,19 @@ struct Frame {
 /// accounted as padding on the data socket).
 inline constexpr std::size_t kFrameHeaderBytes = 1 + 8 + 8 + 1 + 4;
 
+/// encode_into() clears `w` and encodes the message into it, reusing the
+/// writer's capacity — the allocation-free path for per-frame/per-tick
+/// senders that keep a long-lived scratch Writer. encode() is the
+/// convenience wrapper returning a fresh buffer.
+void encode_into(const OpenRequest& m, util::Writer& w);
+void encode_into(const OpenReply& m, util::Writer& w);
+void encode_into(const Flow& m, util::Writer& w);
+void encode_into(const Emergency& m, util::Writer& w);
+void encode_into(const Vcr& m, util::Writer& w);
+void encode_into(const SetQuality& m, util::Writer& w);
+void encode_into(const StateSync& m, util::Writer& w);
+void encode_into(const Frame& m, util::Writer& w);
+
 util::Bytes encode(const OpenRequest& m);
 util::Bytes encode(const OpenReply& m);
 util::Bytes encode(const Flow& m);

@@ -316,5 +316,35 @@ TEST_F(NetworkTest, SelfSendDelivers) {
   EXPECT_EQ(got, 1);
 }
 
+TEST_F(NetworkTest, RestoreHostResetsDownlinkBacklog) {
+  // Regression: restore_host() used to reset only uplink_free_at, so a
+  // rebooted host's downlink kept serving the pre-crash backlog and every
+  // packet after the restore queued behind ghost traffic.
+  HostConfig slow;
+  slow.downlink_bps = 8e6;  // 1 byte/us: each ~1 KB packet busies ~1 ms
+  const NodeId d = net_.add_host("slow-downlink", slow);
+  std::vector<std::pair<sim::Time, std::size_t>> received;
+  auto sd = net_.bind(d, 9, [&](const Endpoint&,
+                                std::span<const std::byte> data) {
+    received.emplace_back(sched_.now(), data.size());
+  });
+  auto sa = net_.bind(a_, 5, nullptr);
+  const util::Bytes big(1'000, std::byte{0});
+  for (int i = 0; i < 20; ++i) sa->send({d, 9}, big);
+  sched_.run_until(sim::msec(2));  // ~20 ms of downlink backlog accrued
+  net_.crash_host(d);
+  net_.restore_host(d);
+  sa->send({d, 9}, msg("probe"));
+  sched_.run();
+  // The probe is the only small datagram; it must clear the revived (idle)
+  // downlink in ~1 ms rather than wait out the ~20 ms pre-crash backlog.
+  sim::Time probe_at = -1;
+  for (const auto& [t, size] : received) {
+    if (size != big.size()) probe_at = t;
+  }
+  ASSERT_GE(probe_at, 0);
+  EXPECT_LT(probe_at, sim::msec(8));
+}
+
 }  // namespace
 }  // namespace ftvod::net
