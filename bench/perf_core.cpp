@@ -38,12 +38,31 @@
 // Every path through ::operator new lands here, including the std::function
 // control blocks and shared_ptr wrappers the hot path may create. Counting
 // is branch-free and cheap enough not to distort the timing comparison.
+//
+// Under AddressSanitizer the global allocator belongs to ASan: replacing it
+// with raw malloc/free would strip redzones and poisoning from every heap
+// object in the binary, gutting the sanitizer run. A sanitized build
+// (-DFTVOD_SANITIZE=address;undefined) therefore compiles the hooks out and
+// reports zero allocator traffic — its numbers are for crash-hunting, not
+// for the perf record.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define FTVOD_COUNTING_ALLOC 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FTVOD_COUNTING_ALLOC 0
+#endif
+#endif
+#ifndef FTVOD_COUNTING_ALLOC
+#define FTVOD_COUNTING_ALLOC 1
+#endif
 
 namespace {
 std::uint64_t g_alloc_count = 0;
 std::uint64_t g_alloc_bytes = 0;
 }  // namespace
 
+#if FTVOD_COUNTING_ALLOC
 void* operator new(std::size_t n) {
   ++g_alloc_count;
   g_alloc_bytes += n;
@@ -77,6 +96,7 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+#endif  // FTVOD_COUNTING_ALLOC
 
 namespace {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/frame.hpp"
 #include "util/log.hpp"
 
 namespace ftvod::gcs {
@@ -158,44 +159,83 @@ void Daemon::member_leave(GroupMember& member) {
 void Daemon::on_datagram(const net::Endpoint& from,
                          std::span<const std::byte> data) {
   if (halted_ || paused_) return;
+  // Integrity gate: a datagram that fails length/CRC verification carries no
+  // trustworthy information at all — not even its claimed sender — so it
+  // must not refresh liveness or reach a decoder.
+  if (!util::frame_open(data)) {
+    socket_->note_corrupt_dropped();
+    ++stats_.malformed_dropped;
+    return;
+  }
   const net::NodeId peer = from.node;
   last_heard_[peer] = sched_->now();
   suspects_.erase(peer);
 
+  // An intact frame with an unknown tag or a decoder-rejected body is a
+  // protocol violation (or a version skew), counted but otherwise inert.
   const auto type = wire::peek_type(data);
-  if (!type) return;
+  if (!type) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  bool handled = false;
   switch (*type) {
     case wire::MsgType::kHeartbeat:
-      if (auto m = wire::decode_heartbeat(data)) handle_heartbeat(peer, *m);
+      if (auto m = wire::decode_heartbeat(data)) {
+        handle_heartbeat(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kSubmit:
-      if (auto m = wire::decode_submit(data)) handle_submit(peer, *m);
+      if (auto m = wire::decode_submit(data)) {
+        handle_submit(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kOrdered:
-      if (auto m = wire::decode_ordered(data)) handle_ordered(*m);
+      if (auto m = wire::decode_ordered(data)) {
+        handle_ordered(*m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kRetransReq:
-      if (auto m = wire::decode_retrans_req(data))
+      if (auto m = wire::decode_retrans_req(data)) {
         handle_retrans_req(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kPropose:
-      if (auto m = wire::decode_propose(data)) handle_propose(peer, *m);
+      if (auto m = wire::decode_propose(data)) {
+        handle_propose(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kProposeAck:
-      if (auto m = wire::decode_propose_ack(data))
+      if (auto m = wire::decode_propose_ack(data)) {
         handle_propose_ack(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kFlushTarget:
-      if (auto m = wire::decode_flush_target(data))
+      if (auto m = wire::decode_flush_target(data)) {
         handle_flush_target(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kFlushDone:
-      if (auto m = wire::decode_flush_done(data)) handle_flush_done(peer, *m);
+      if (auto m = wire::decode_flush_done(data)) {
+        handle_flush_done(peer, *m);
+        handled = true;
+      }
       break;
     case wire::MsgType::kInstall:
-      if (auto m = wire::decode_install(data)) handle_install(peer, *m);
+      if (auto m = wire::decode_install(data)) {
+        handle_install(peer, *m);
+        handled = true;
+      }
       break;
   }
+  if (!handled) ++stats_.malformed_dropped;
 }
 
 void Daemon::send_to(net::NodeId node, std::span<const std::byte> bytes) {

@@ -36,6 +36,10 @@ struct DaemonStats {
   std::uint64_t messages_delivered = 0;  // to local or remote bookkeeping
   std::uint64_t retransmissions = 0;
   std::uint64_t view_changes = 0;
+  /// Datagrams rejected before acting on them: integrity-check failures
+  /// (also counted in SocketStats::corrupt_dropped) plus structurally or
+  /// semantically invalid messages the decoders refused.
+  std::uint64_t malformed_dropped = 0;
 };
 
 class Daemon {

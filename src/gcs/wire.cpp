@@ -1,5 +1,7 @@
 #include "gcs/wire.hpp"
 
+#include "util/frame.hpp"
+
 namespace ftvod::gcs::wire {
 
 namespace {
@@ -36,7 +38,12 @@ void put_nodes(util::Writer& w, const std::vector<net::NodeId>& nodes) {
 std::vector<net::NodeId> get_nodes(util::Reader& r) {
   const std::uint32_t n = r.u32();
   std::vector<net::NodeId> out;
-  if (!r.ok() || n > 1'000'000) return out;
+  // Each node id occupies 4 bytes, so a count the remaining bytes cannot
+  // hold is definitionally malformed — reject before reserving anything.
+  if (!r.ok() || n > r.remaining() / 4) {
+    r.fail();
+    return out;
+  }
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.u32());
   return out;
@@ -53,7 +60,11 @@ void put_regs(util::Writer& w, const std::vector<GroupReg>& regs) {
 std::vector<GroupReg> get_regs(util::Reader& r) {
   const std::uint32_t n = r.u32();
   std::vector<GroupReg> out;
-  if (!r.ok() || n > 1'000'000) return out;
+  // Minimum encoded GroupReg: 4-byte string length + 8-byte endpoint.
+  if (!r.ok() || n > r.remaining() / 12) {
+    r.fail();
+    return out;
+  }
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     GroupReg g;
@@ -65,13 +76,17 @@ std::vector<GroupReg> get_regs(util::Reader& r) {
 }
 
 void begin(util::Writer& w, MsgType t) {
-  w.clear();
+  util::frame_begin(w);  // clears w, reserves the integrity header
   w.u8(static_cast<std::uint8_t>(t));
 }
 
-/// Checks the tag and returns a reader positioned after it.
+/// Verifies the integrity frame and the tag, returning a reader positioned
+/// on the first body field. Every decoder funnels through this, so damaged
+/// datagrams are rejected before a single field is interpreted.
 std::optional<util::Reader> body(std::span<const std::byte> data, MsgType t) {
-  util::Reader r(data);
+  const auto opened = util::frame_open(data);
+  if (!opened) return std::nullopt;
+  util::Reader r(*opened);
   if (r.u8() != static_cast<std::uint8_t>(t) || !r.ok()) return std::nullopt;
   return r;
 }
@@ -79,8 +94,11 @@ std::optional<util::Reader> body(std::span<const std::byte> data, MsgType t) {
 }  // namespace
 
 std::optional<MsgType> peek_type(std::span<const std::byte> data) {
-  if (data.empty()) return std::nullopt;
-  const auto t = std::to_integer<std::uint8_t>(data[0]);
+  // Structural frame check only (no CRC): demux is on the hot path, and the
+  // per-type decoder re-verifies the full checksum via body().
+  const auto opened = util::frame_peek(data);
+  if (!opened || opened->empty()) return std::nullopt;
+  const auto t = std::to_integer<std::uint8_t>((*opened)[0]);
   if (t < static_cast<std::uint8_t>(MsgType::kHeartbeat) ||
       t > static_cast<std::uint8_t>(MsgType::kInstall)) {
     return std::nullopt;
@@ -94,6 +112,7 @@ void encode_into(const Heartbeat& m, util::Writer& w) {
   put_nodes(w, m.members);
   w.u64(m.delivered_upto);
   w.u64(m.safe_upto);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Heartbeat& m) {
@@ -122,6 +141,7 @@ void encode_into(const Submit& m, util::Writer& w) {
   w.str(m.group);
   put_endpoint(w, m.origin);
   w.blob(m.payload);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Submit& m) {
@@ -154,6 +174,7 @@ void encode_into(const Ordered& m, util::Writer& w) {
   w.str(m.group);
   put_endpoint(w, m.origin);
   w.blob(m.payload);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Ordered& m) {
@@ -183,6 +204,7 @@ void encode_into(const RetransReq& m, util::Writer& w) {
   put_view_id(w, m.view);
   w.u64(m.from_gseq);
   w.u64(m.to_gseq);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const RetransReq& m) {
@@ -206,6 +228,7 @@ void encode_into(const Propose& m, util::Writer& w) {
   begin(w, MsgType::kPropose);
   put_view_id(w, m.pv);
   put_nodes(w, m.members);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Propose& m) {
@@ -231,6 +254,7 @@ void encode_into(const ProposeAck& m, util::Writer& w) {
   w.u64(m.delivered_upto);
   w.u64(m.next_submit_seq);
   put_regs(w, m.regs);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const ProposeAck& m) {
@@ -261,6 +285,7 @@ void encode_into(const FlushTarget& m, util::Writer& w) {
     w.u64(e.target);
     w.u32(e.holder);
   }
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const FlushTarget& m) {
@@ -292,6 +317,7 @@ void encode_into(const FlushDone& m, util::Writer& w) {
   begin(w, MsgType::kFlushDone);
   put_view_id(w, m.pv);
   w.u64(m.delivered_upto);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const FlushDone& m) {
@@ -320,6 +346,7 @@ void encode_into(const Install& m, util::Writer& w) {
     w.u32(node);
     w.u64(seq);
   }
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Install& m) {

@@ -1,5 +1,7 @@
 // Wire messages exchanged between GCS daemons. Every datagram is one
-// Envelope: a one-byte type tag followed by the message body.
+// Envelope: the 8-byte integrity header (util/frame.hpp), a one-byte type
+// tag, then the message body. Decoders verify length + CRC32C before
+// reading a single field, so damaged datagrams behave exactly like loss.
 #pragma once
 
 #include <cstdint>

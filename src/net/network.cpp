@@ -187,24 +187,81 @@ void Network::send_from_socket(Socket& src, const Endpoint& to,
   }
 
   const LinkQuality& q = quality(from.node, to.node);
-  if (rng_->bernoulli(q.loss)) {
+  // Loss: the Gilbert–Elliott channel (when enabled) modulates the drop
+  // probability per packet — `loss` in the good state, `loss_bad` in the
+  // bad state — producing the loss bursts congestion causes on real paths.
+  double loss_p = q.loss;
+  bool in_bad_state = false;
+  if (q.bursty()) {
+    bool& bad = burst_state_[std::minmax(from.node, to.node)];
+    if (bad) {
+      if (rng_->bernoulli(q.p_bad_to_good)) bad = false;
+    } else {
+      if (rng_->bernoulli(q.p_good_to_bad)) bad = true;
+    }
+    in_bad_state = bad;
+    if (bad) loss_p = q.loss_bad;
+  }
+  if (rng_->bernoulli(loss_p)) {
     ++h.stats.dropped_loss;
+    if (in_bad_state) ++h.stats.dropped_burst;
     return;
   }
 
   PayloadBuffer* data = acquire_buffer(payload);
+  // Damage is applied once to the pooled copy, before duplication: a
+  // duplicated packet was damaged (or not) upstream of the branch point, so
+  // both copies share its fate.
+  apply_damage(q, h, *data);
   const int copies = rng_->bernoulli(q.duplicate) ? 2 : 1;
   for (int i = 0; i < copies; ++i) {
     const sim::Duration jitter =
         q.jitter > 0 ? static_cast<sim::Duration>(
                            rng_->uniform(0.0, static_cast<double>(q.jitter)))
                      : 0;
-    const sim::Time arrival = departure + q.base_delay + jitter;
+    // Reordering beyond what jitter produces: occasionally a packet takes a
+    // detour long enough to land behind several successors.
+    sim::Duration reorder_delay = 0;
+    if (rng_->bernoulli(q.reorder)) {
+      const sim::Duration span = q.reorder_span > 0
+                                     ? q.reorder_span
+                                     : 4 * (q.base_delay + q.jitter);
+      reorder_delay = static_cast<sim::Duration>(
+          rng_->uniform(0.0, static_cast<double>(span)));
+      ++h.stats.reordered;
+    }
+    const sim::Time arrival = departure + q.base_delay + jitter + reorder_delay;
     ++data->refs;
     sched_->at(arrival, [this, from, to, data, wire_size] {
       deliver(from, to, data, wire_size);
     });
   }
+}
+
+bool Network::apply_damage(const LinkQuality& q, Host& sender,
+                           PayloadBuffer& data) {
+  bool damaged = false;
+  if (!data.bytes.empty() && rng_->bernoulli(q.corrupt)) {
+    // Flip a handful of random bits, the signature of line noise or a bad
+    // NIC. The integrity framing must catch every one of these.
+    const auto total_bits =
+        static_cast<std::int64_t>(data.bytes.size()) * 8;
+    for (int i = 0; i < q.corrupt_bits; ++i) {
+      const std::int64_t bit = rng_->uniform_int(0, total_bits - 1);
+      data.bytes[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::byte>(1u << (bit % 8));
+    }
+    ++sender.stats.corrupted;
+    damaged = true;
+  }
+  if (!data.bytes.empty() && rng_->bernoulli(q.truncate)) {
+    const auto keep = rng_->uniform_int(
+        0, static_cast<std::int64_t>(data.bytes.size()) - 1);
+    data.bytes.resize(static_cast<std::size_t>(keep));
+    ++sender.stats.truncated;
+    damaged = true;
+  }
+  return damaged;
 }
 
 void Network::deliver(Endpoint from, Endpoint to, PayloadBuffer* data,

@@ -1,7 +1,9 @@
 // Simulated datagram network. Models, per packet:
 //   * serialization delay at the sender's uplink (rate + tail-drop queue),
 //   * propagation delay with uniform jitter (reordering emerges naturally),
-//   * i.i.d. loss and optional duplication,
+//   * i.i.d. loss, Gilbert–Elliott bursty loss, and optional duplication,
+//   * payload corruption (bit flips) and truncation in flight,
+//   * explicit reordering (an occasional extra delivery delay),
 //   * host crashes and network partitions.
 //
 // This substrate stands in for the paper's switched-Ethernet LAN and 7-hop
@@ -31,6 +33,13 @@ struct HostStats {
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_queue = 0;
   std::uint64_t dropped_unreachable = 0;  // partition/crash/no socket
+  /// Subset of dropped_loss lost while the Gilbert–Elliott channel was in
+  /// its bad state (i.e. attributable to a burst rather than the i.i.d.
+  /// floor).
+  std::uint64_t dropped_burst = 0;
+  std::uint64_t corrupted = 0;   // payloads damaged by bit flips in flight
+  std::uint64_t truncated = 0;   // payloads cut short in flight
+  std::uint64_t reordered = 0;   // deliveries given the extra reorder delay
 };
 
 class Network {
@@ -88,6 +97,10 @@ class Network {
   }
 
   [[nodiscard]] sim::Scheduler& scheduler() { return *sched_; }
+  /// The shared deterministic randomness source. Protocol components draw
+  /// their jitter (e.g. retry backoff) from it so a whole run stays
+  /// reproducible from the one seed.
+  [[nodiscard]] util::Rng& rng() { return *rng_; }
 
  private:
   friend class Socket;
@@ -129,11 +142,18 @@ class Network {
   PayloadBuffer* acquire_buffer(std::span<const std::byte> payload);
   void release_ref(PayloadBuffer* data);
 
+  /// Applies in-flight damage (bit flips, truncation) to the pooled copy of
+  /// a packet according to the link quality; returns true if damaged.
+  bool apply_damage(const LinkQuality& q, Host& sender, PayloadBuffer& data);
+
   sim::Scheduler* sched_;
   util::Rng* rng_;
   std::vector<Host> hosts_;
   LinkQuality default_quality_{};
   std::map<std::pair<NodeId, NodeId>, LinkQuality> quality_overrides_;
+  // Gilbert–Elliott channel state per unordered host pair: true == bad
+  // (lossy) state. Lazily created on the first packet of a bursty link.
+  std::map<std::pair<NodeId, NodeId>, bool> burst_state_;
   // Partition state as a per-host component id: reachable() is O(1) instead
   // of scanning component sets per packet. Hosts not named by partition()
   // share the implicit component id (== number of explicit components).

@@ -1,6 +1,20 @@
 // Link quality parameters and canned profiles for the two environments the
 // paper evaluates: a 100 Mbps switched-Ethernet LAN and a 7-hop small-scale
 // WAN (Hebrew University <-> Tel Aviv University) without QoS reservation.
+//
+// Beyond clean i.i.d. loss the model covers the hostile behaviours real
+// Internet paths exhibit (the paper's §5 WAN numbers, and Kanrar's VoD
+// traffic studies, both show damage and bursts dominating clean loss):
+//  * corruption  — per-packet probability of flipping a few payload bits;
+//  * truncation  — per-packet probability of cutting the datagram short;
+//  * reordering  — per-packet probability of an extra delivery delay large
+//                  enough to land the packet behind its successors;
+//  * bursty loss — a two-state Gilbert–Elliott channel: per-packet
+//                  transitions between a good state (loss = `loss`) and a
+//                  bad state (loss = `loss_bad`), giving loss bursts with a
+//                  mean length of 1/p_bad_to_good packets.
+// All of it draws from the one seeded network RNG, so a hostile run is as
+// reproducible as a clean one.
 #pragma once
 
 #include "sim/time.hpp"
@@ -10,8 +24,26 @@ namespace ftvod::net {
 struct LinkQuality {
   sim::Duration base_delay = sim::usec(200);  // one-way propagation
   sim::Duration jitter = 0;      // uniform extra delay in [0, jitter]
-  double loss = 0.0;             // i.i.d. packet drop probability
+  double loss = 0.0;             // i.i.d. packet drop probability (good state)
   double duplicate = 0.0;        // probability the packet arrives twice
+
+  // --- payload damage (detected and dropped by the integrity framing) ----
+  double corrupt = 0.0;          // probability of bit-flips in the payload
+  int corrupt_bits = 3;          // flipped bits per corrupted packet
+  double truncate = 0.0;         // probability the packet is cut short
+
+  // --- reordering ---------------------------------------------------------
+  double reorder = 0.0;          // probability of the extra reorder delay
+  /// Extra delay for a reordered packet, uniform in [0, reorder_span]; 0
+  /// means "derive from the link": 4 * (base_delay + jitter).
+  sim::Duration reorder_span = 0;
+
+  // --- Gilbert–Elliott bursty loss (off while p_good_to_bad == 0) --------
+  double p_good_to_bad = 0.0;    // per-packet good -> bad transition
+  double p_bad_to_good = 0.0;    // per-packet bad -> good transition
+  double loss_bad = 0.0;         // drop probability while in the bad state
+
+  [[nodiscard]] bool bursty() const { return p_good_to_bad > 0.0; }
 };
 
 struct HostConfig {
@@ -34,12 +66,24 @@ inline LinkQuality lan_quality() {
                      .duplicate = 0.0};
 }
 
-/// Seven-hop Internet path: tens of ms delay, real jitter, ~1% loss.
+/// Seven-hop Internet path: tens of ms delay, real jitter, ~1% loss, plus
+/// the hostile behaviours measured on such paths — occasional bit damage
+/// and truncation, mild reordering beyond what jitter causes, and
+/// congestion-driven loss bursts (~4 packets mean, 40% loss while bursting)
+/// on top of the i.i.d. floor.
 inline LinkQuality wan_quality(double loss = 0.01) {
   return LinkQuality{.base_delay = sim::msec(18),
                      .jitter = sim::msec(12),
                      .loss = loss,
-                     .duplicate = 0.0005};
+                     .duplicate = 0.0005,
+                     .corrupt = 0.002,
+                     .corrupt_bits = 3,
+                     .truncate = 0.0005,
+                     .reorder = 0.005,
+                     .reorder_span = 0,
+                     .p_good_to_bad = 0.002,
+                     .p_bad_to_good = 0.25,
+                     .loss_bad = 0.4};
 }
 
 }  // namespace ftvod::net

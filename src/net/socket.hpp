@@ -19,6 +19,10 @@ struct SocketStats {
   std::uint64_t datagrams_received = 0;
   std::uint64_t bytes_sent = 0;      // wire bytes including padding+headers
   std::uint64_t bytes_received = 0;  // wire bytes including padding+headers
+  /// Datagrams that arrived but failed integrity verification (length or
+  /// CRC32C mismatch) and were discarded before any decoding. Bumped by the
+  /// owning protocol component via note_corrupt_dropped().
+  std::uint64_t corrupt_dropped = 0;
 };
 
 class Socket {
@@ -39,6 +43,11 @@ class Socket {
 
   [[nodiscard]] Endpoint local() const { return local_; }
   [[nodiscard]] const SocketStats& stats() const { return stats_; }
+
+  /// Records a datagram discarded for failing integrity verification. The
+  /// network cannot count this itself — damage is only detectable above the
+  /// socket, where the framing layer checks the checksum.
+  void note_corrupt_dropped() { ++stats_.corrupt_dropped; }
 
  private:
   friend class Network;

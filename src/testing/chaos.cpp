@@ -33,6 +33,7 @@ std::string_view to_string(ChaosEventKind k) {
     case ChaosEventKind::kPartition: return "partition";
     case ChaosEventKind::kHeal: return "heal";
     case ChaosEventKind::kDegradeLink: return "degrade-link";
+    case ChaosEventKind::kCorruptLink: return "corrupt-link";
     case ChaosEventKind::kRestoreLink: return "restore-link";
     case ChaosEventKind::kPauseDaemon: return "pause-daemon";
     case ChaosEventKind::kResumeDaemon: return "resume-daemon";
@@ -94,6 +95,9 @@ ChaosPlan ChaosPlan::generate(std::uint64_t seed, const ChaosOptions& opts,
     }
     if (opts.weight_degrade > 0 && all_nodes.size() >= 2) {
       choices.push_back({ChaosEventKind::kDegradeLink, opts.weight_degrade});
+    }
+    if (opts.weight_corrupt > 0 && all_nodes.size() >= 2) {
+      choices.push_back({ChaosEventKind::kCorruptLink, opts.weight_corrupt});
     }
     if (choices.empty()) {
       t += std::max<sim::Duration>(
@@ -193,6 +197,35 @@ ChaosPlan ChaosPlan::generate(std::uint64_t seed, const ChaosOptions& opts,
             restore_at, ChaosEventKind::kRestoreLink, key.first, key.second));
         break;
       }
+      case ChaosEventKind::kCorruptLink: {
+        const auto ai = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(all_nodes.size()) - 1));
+        auto bi = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(all_nodes.size()) - 2));
+        if (bi >= ai) ++bi;
+        const auto key = std::minmax(all_nodes[ai], all_nodes[bi]);
+        if (degraded_until.contains(key) && degraded_until[key] > t) break;
+        ChaosEvent ev =
+            make_event(t, ChaosEventKind::kCorruptLink, key.first, key.second);
+        // A damaging flap: heavy bit-errors and truncation (all of it caught
+        // by the integrity framing and dropped), plus a loss-burst regime —
+        // the failing-interface behaviour the WAN path occasionally shows.
+        ev.quality.base_delay = sim::msec(
+            static_cast<std::int64_t>(rng.uniform(5.0, 40.0)));
+        ev.quality.jitter = sim::msec(
+            static_cast<std::int64_t>(rng.uniform(2.0, 15.0)));
+        ev.quality.corrupt = rng.uniform(0.01, 0.08);
+        ev.quality.truncate = rng.uniform(0.002, 0.02);
+        ev.quality.p_good_to_bad = rng.uniform(0.005, 0.02);
+        ev.quality.p_bad_to_good = 0.25;
+        ev.quality.loss_bad = rng.uniform(0.3, 0.5);
+        const sim::Time restore_at = t + jittered(opts.corrupt_length);
+        degraded_until[key] = restore_at;
+        plan.events_.push_back(std::move(ev));
+        plan.events_.push_back(make_event(
+            restore_at, ChaosEventKind::kRestoreLink, key.first, key.second));
+        break;
+      }
       default:
         break;
     }
@@ -233,6 +266,10 @@ std::string ChaosPlan::describe() const {
     }
     if (e.kind == ChaosEventKind::kDegradeLink) {
       os << " loss=" << e.quality.loss;
+    }
+    if (e.kind == ChaosEventKind::kCorruptLink) {
+      os << " corrupt=" << e.quality.corrupt
+         << " loss_bad=" << e.quality.loss_bad;
     }
     os << "\n";
   }
@@ -280,6 +317,7 @@ void ChaosInjector::apply(const ChaosEvent& e) {
       net.heal();
       break;
     case ChaosEventKind::kDegradeLink:
+    case ChaosEventKind::kCorruptLink:
       net.set_quality(e.a, e.b, e.quality);
       break;
     case ChaosEventKind::kRestoreLink:

@@ -3,8 +3,8 @@
 // sequences). A ChaosPlan is a pure function of (seed, options, topology):
 // a time-ordered schedule of fault events — host crash, restart with
 // recovery, network partition and heal, transient link-quality
-// degradation, GCS daemon pause/resume — with every fault bounded by a
-// matching repair event. A ChaosInjector replays a plan through the
+// degradation, payload-damaging link corruption, GCS daemon pause/resume —
+// with every fault bounded by a matching repair event. A ChaosInjector replays a plan through the
 // deployment's own discrete-event scheduler, so an entire chaotic run is
 // reproducible bit-for-bit from (deployment seed, plan seed).
 #pragma once
@@ -25,6 +25,7 @@ enum class ChaosEventKind : std::uint8_t {
   kPartition,     // split the network into {group, everyone else}
   kHeal,          // remove the partition
   kDegradeLink,   // transient loss/latency flap on one host pair
+  kCorruptLink,   // transient bit-damage + loss-burst regime on a pair
   kRestoreLink,   // back to the default quality
   kPauseDaemon,   // SIGSTOP the server's GCS daemon
   kResumeDaemon,  // SIGCONT it
@@ -53,12 +54,16 @@ struct ChaosOptions {
   sim::Duration crash_downtime = sim::sec(5.0);
   sim::Duration partition_length = sim::sec(2.5);
   sim::Duration degrade_length = sim::sec(3.0);
+  sim::Duration corrupt_length = sim::sec(3.0);
   sim::Duration pause_length = sim::sec(2.0);
 
   /// Relative likelihood of each fault class (0 disables the class).
+  /// weight_corrupt defaults to 0 so plans generated before the hostile
+  /// fault model existed stay byte-identical for the same seed.
   double weight_crash = 1.0;
   double weight_partition = 1.0;
   double weight_degrade = 1.0;
+  double weight_corrupt = 0.0;
   double weight_pause = 1.0;
 
   /// Crashes and pauses never reduce the healthy-server count below this.

@@ -51,6 +51,12 @@ void Writer::raw(std::span<const std::byte> v) {
   buf_.insert(buf_.end(), v.begin(), v.end());
 }
 
+void Writer::patch_u32(std::size_t pos, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_.at(pos + i) = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
 const std::byte* Reader::need(std::size_t n) {
   if (!ok_ || data_.size() - pos_ < n) {
     ok_ = false;

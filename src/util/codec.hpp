@@ -39,6 +39,9 @@ class Writer {
   void blob(std::span<const std::byte> v);
   /// Raw bytes, no length prefix.
   void raw(std::span<const std::byte> v);
+  /// Overwrites 4 already-written bytes at `pos` (little-endian). Used to
+  /// patch length/checksum headers once the body size is known.
+  void patch_u32(std::size_t pos, std::uint32_t v);
 
   /// Empties the buffer but keeps its capacity — the reuse idiom for
   /// per-message encoding on hot paths: clear(), encode_into(), send.
@@ -71,6 +74,10 @@ class Reader {
 
   /// True while no read has overrun the buffer.
   [[nodiscard]] bool ok() const { return ok_; }
+  /// Forces the sticky error flag; decoders use it to reject semantically
+  /// invalid fields (absurd counts, non-finite rates) through the same
+  /// fail-safe path as a structural overrun.
+  void fail() { ok_ = false; }
   /// True when the whole buffer was consumed without error.
   [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

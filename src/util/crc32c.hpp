@@ -1,0 +1,20 @@
+// Software CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78),
+// slice-by-4: four 256-entry tables let the hot loop fold one aligned
+// 32-bit word per iteration instead of one byte. No hardware intrinsics and
+// no external dependencies — the checksum must behave identically on every
+// platform the simulation runs on, because chaotic runs are reproduced
+// bit-for-bit from their seeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ftvod::util {
+
+/// CRC32C of `data`. `seed` chains incremental computations: pass the
+/// previous return value to continue a running checksum.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data,
+                                   std::uint32_t seed = 0);
+
+}  // namespace ftvod::util

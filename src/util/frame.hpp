@@ -1,0 +1,41 @@
+// Datagram integrity framing. Every protocol message in the library is
+// wrapped in an 8-byte header written at encode time:
+//
+//     u32 body_length | u32 crc32c(body) | body...
+//
+// The header turns "arbitrary bytes on the wire" into "either the exact
+// bytes that were sent, or a drop": receivers verify length and checksum
+// before any decoder touches the payload, so a corrupted, truncated or
+// spliced datagram is indistinguishable from a lost one — and loss is the
+// failure the retransmission and emergency machinery already recovers from.
+// DESIGN.md §"Hostile-network model" documents the covered fields.
+#pragma once
+
+#include <optional>
+
+#include "util/codec.hpp"
+
+namespace ftvod::util {
+
+/// Wire overhead of the integrity header, in bytes.
+inline constexpr std::size_t kIntegrityHeaderBytes = 8;
+
+/// Clears `w` and reserves the header; pair with frame_seal() after the
+/// body is encoded. Every wire encode_into() starts with this.
+void frame_begin(Writer& w);
+
+/// Patches the length and CRC32C over everything written since
+/// frame_begin(). Must be the last step of an encode_into().
+void frame_seal(Writer& w);
+
+/// Structural check only (size and length field, no checksum): returns the
+/// body span, or nullopt. Cheap enough for per-datagram type demux.
+[[nodiscard]] std::optional<std::span<const std::byte>> frame_peek(
+    std::span<const std::byte> datagram);
+
+/// Full verification (length + CRC32C): returns the body span, or nullopt
+/// for anything damaged. Decoders call this before reading a single field.
+[[nodiscard]] std::optional<std::span<const std::byte>> frame_open(
+    std::span<const std::byte> datagram);
+
+}  // namespace ftvod::util

@@ -77,22 +77,37 @@ void VodClient::send_open_request() {
   wire::OpenRequest req{client_id_, movie_, data_socket_->local(),
                         capability_fps_};
   daemon_->send_to_group(server_group_name(), wire::encode(req));
-  open_retry_timer_.arm(params_.open_retry, [this] {
+  // Exponential backoff with jitter: during a long outage every waiting
+  // client would otherwise re-ask the server group in lockstep at a fixed
+  // interval, turning the recovery instant into a thundering herd.
+  if (open_retry_delay_ == 0) open_retry_delay_ = params_.open_retry;
+  const auto jitter = static_cast<sim::Duration>(net_->rng().uniform(
+      0.0, static_cast<double>(open_retry_delay_) / 4.0));
+  open_retry_timer_.arm(open_retry_delay_ + jitter, [this] {
     ++control_stats_.open_retries;
     send_open_request();
   });
+  open_retry_delay_ = std::min(2 * open_retry_delay_, params_.open_retry_cap);
 }
 
 void VodClient::on_session_message(const gcs::GcsEndpoint& from,
                                    std::span<const std::byte> d) {
   if (halted_) return;
   if (from.node == daemon_->self()) return;  // our own control messages
-  if (wire::peek_type(d) != wire::MsgType::kOpenReply) return;
+  if (wire::peek_type(d) != wire::MsgType::kOpenReply) {
+    ++control_stats_.malformed_dropped;
+    return;
+  }
   const auto reply = wire::decode_open_reply(d);
-  if (!reply || reply->client_id != client_id_ || connected_) return;
+  if (!reply || reply->client_id != client_id_) {
+    ++control_stats_.malformed_dropped;
+    return;
+  }
+  if (connected_) return;  // duplicate reply to a retried open
 
   connected_ = true;
   open_retry_timer_.cancel();
+  open_retry_delay_ = 0;  // the next outage backs off from the base again
   last_frame_at_ = sched_->now();
   last_progress_at_ = sched_->now();  // a (re)connect restarts the clock
   movie_fps_ = reply->fps;
@@ -116,9 +131,21 @@ void VodClient::on_datagram(const net::Endpoint& from,
                             std::span<const std::byte> d) {
   (void)from;  // deliberately ignored: the client must not track servers
   if (halted_ || !buffers_) return;
-  if (wire::peek_type(d) != wire::MsgType::kFrame) return;
+  // Integrity gate: the data socket is the one channel exposed to raw wire
+  // damage (frames bypass GCS), so verify before any decoding.
+  if (!util::frame_open(d)) {
+    data_socket_->note_corrupt_dropped();
+    ++control_stats_.malformed_dropped;
+    return;
+  }
+  if (wire::peek_type(d) != wire::MsgType::kFrame) {
+    ++control_stats_.malformed_dropped;
+    return;
+  }
   if (const auto f = wire::decode_frame(d)) {
     if (f->client_id == client_id_) on_frame(*f);
+  } else {
+    ++control_stats_.malformed_dropped;
   }
 }
 

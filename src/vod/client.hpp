@@ -28,6 +28,10 @@ struct ClientControlStats {
   std::uint64_t emergencies_sent = 0;
   std::uint64_t session_views = 0;  // membership changes observed
   std::uint64_t open_retries = 0;
+  /// Datagrams/messages this client rejected: integrity-check failures on
+  /// the data socket (also counted in SocketStats::corrupt_dropped) plus
+  /// decoder refusals and client-id mismatches on either channel.
+  std::uint64_t malformed_dropped = 0;
 };
 
 class VodClient {
@@ -114,6 +118,10 @@ class VodClient {
   sim::PeriodicTimer display_timer_;
   sim::PeriodicTimer watchdog_timer_;
   sim::OneShotTimer open_retry_timer_;
+  /// Current open-retry backoff delay; 0 means "start over at the base
+  /// interval". Doubles (with jitter) per retry up to params_.open_retry_cap
+  /// and resets on a successful connect.
+  sim::Duration open_retry_delay_ = 0;
   sim::Time last_emergency_at_ = -1'000'000'000;
   std::uint8_t last_emergency_tier_ = 255;  // 255 = none outstanding
   sim::Time last_frame_at_ = 0;

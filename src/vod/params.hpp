@@ -60,7 +60,12 @@ struct VodParams {
   // --- transport ----------------------------------------------------------
   net::Port server_data_port = 9000;
   net::Port client_data_port = 9100;
-  sim::Duration open_retry = sim::sec(1.0);  // re-send OpenRequest
+  /// Base OpenRequest retry interval. Retries back off exponentially
+  /// (doubling, plus uniform jitter of up to a quarter of the current
+  /// delay) up to open_retry_cap, so a long server outage is not hammered
+  /// by every waiting client in lockstep.
+  sim::Duration open_retry = sim::sec(1.0);
+  sim::Duration open_retry_cap = sim::sec(8.0);
   /// A connected client that receives nothing for this long (while not
   /// paused and not at the end of the movie) assumes its session was lost
   /// (e.g. it was partitioned away long enough to be declared failed) and

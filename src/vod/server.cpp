@@ -111,8 +111,15 @@ void VodServer::on_server_group_message(const gcs::GcsEndpoint& from,
                                         std::span<const std::byte> data) {
   (void)from;
   if (halted_) return;
-  if (wire::peek_type(data) != wire::MsgType::kOpenRequest) return;
-  if (auto req = wire::decode_open_request(data)) handle_open_request(*req);
+  if (wire::peek_type(data) != wire::MsgType::kOpenRequest) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  if (auto req = wire::decode_open_request(data)) {
+    handle_open_request(*req);
+  } else {
+    ++stats_.malformed_dropped;
+  }
 }
 
 void VodServer::handle_open_request(const wire::OpenRequest& req) {
@@ -162,9 +169,18 @@ void VodServer::on_movie_group_message(const std::string& movie,
                                        const gcs::GcsEndpoint& from,
                                        std::span<const std::byte> data) {
   if (halted_) return;
-  if (wire::peek_type(data) != wire::MsgType::kStateSync) return;
+  if (wire::peek_type(data) != wire::MsgType::kStateSync) {
+    ++stats_.malformed_dropped;
+    return;
+  }
   if (auto sync = wire::decode_state_sync(data)) {
-    if (sync->movie == movie) apply_state_sync(from.node, *sync);
+    if (sync->movie == movie) {
+      apply_state_sync(from.node, *sync);
+    } else {
+      ++stats_.malformed_dropped;  // sync addressed to a different movie
+    }
+  } else {
+    ++stats_.malformed_dropped;
   }
 }
 
@@ -394,12 +410,18 @@ void VodServer::on_session_message(std::uint64_t client_id,
   if (it == sessions_.end()) return;
   Session& s = *it->second;
   const auto type = wire::peek_type(data);
-  if (!type) return;
+  if (!type) {
+    ++stats_.malformed_dropped;
+    return;
+  }
 
   switch (*type) {
     case wire::MsgType::kFlow: {
       const auto m = wire::decode_flow(data);
-      if (!m || m->client_id != client_id) return;
+      if (!m || m->client_id != client_id) {
+        ++stats_.malformed_dropped;
+        return;
+      }
       // §4.1: flow-control requests are ignored during an emergency burst.
       if (s.eq.active()) return;
       s.rec.rate_fps =
@@ -409,7 +431,10 @@ void VodServer::on_session_message(std::uint64_t client_id,
     }
     case wire::MsgType::kEmergency: {
       const auto m = wire::decode_emergency(data);
-      if (!m || m->client_id != client_id) return;
+      if (!m || m->client_id != client_id) {
+        ++stats_.malformed_dropped;
+        return;
+      }
       // §4.1: while the emergency quantity is greater than zero, the server
       // ignores all flow control requests — including repeated emergencies,
       // which would otherwise re-inflate the burst and overflow the client.
@@ -436,7 +461,10 @@ void VodServer::on_session_message(std::uint64_t client_id,
     }
     case wire::MsgType::kVcr: {
       const auto m = wire::decode_vcr(data);
-      if (!m || m->client_id != client_id) return;
+      if (!m || m->client_id != client_id) {
+        ++stats_.malformed_dropped;
+        return;
+      }
       switch (m->op) {
         case wire::VcrOp::kPause:
           s.rec.paused = true;
@@ -460,7 +488,10 @@ void VodServer::on_session_message(std::uint64_t client_id,
     }
     case wire::MsgType::kSetQuality: {
       const auto m = wire::decode_set_quality(data);
-      if (!m || m->client_id != client_id) return;
+      if (!m || m->client_id != client_id) {
+        ++stats_.malformed_dropped;
+        return;
+      }
       s.rec.quality_fps = m->fps;
       if (m->fps > 0.0 && m->fps < s.movie->fps()) {
         s.quality.emplace(*s.movie, m->fps);
@@ -470,6 +501,9 @@ void VodServer::on_session_message(std::uint64_t client_id,
       break;
     }
     default:
+      // Another server's OpenReply (session takeover) is legitimate here;
+      // anything else does not belong on a session channel.
+      if (*type != wire::MsgType::kOpenReply) ++stats_.malformed_dropped;
       break;
   }
 }

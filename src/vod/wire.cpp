@@ -1,18 +1,30 @@
 #include "vod/wire.hpp"
 
+#include <cmath>
+
 namespace ftvod::vod::wire {
 
 namespace {
 
 void begin(util::Writer& w, MsgType t) {
-  w.clear();
+  util::frame_begin(w);  // clears w, reserves the integrity header
   w.u8(static_cast<std::uint8_t>(t));
 }
 
+/// Verifies the integrity frame and the tag, returning a reader positioned
+/// on the first body field. Damaged datagrams never reach a decoder.
 std::optional<util::Reader> body(std::span<const std::byte> data, MsgType t) {
-  util::Reader r(data);
+  const auto opened = util::frame_open(data);
+  if (!opened) return std::nullopt;
+  util::Reader r(*opened);
   if (r.u8() != static_cast<std::uint8_t>(t) || !r.ok()) return std::nullopt;
   return r;
+}
+
+/// Rejects NaN/infinity and negative rates — values no honest encoder
+/// produces, which would otherwise poison flow-control arithmetic.
+void check_fps(util::Reader& r, double fps) {
+  if (!std::isfinite(fps) || fps < 0.0) r.fail();
 }
 
 void put_endpoint(util::Writer& w, const net::Endpoint& e) {
@@ -30,8 +42,11 @@ net::Endpoint get_endpoint(util::Reader& r) {
 }  // namespace
 
 std::optional<MsgType> peek_type(std::span<const std::byte> data) {
-  if (data.empty()) return std::nullopt;
-  const auto t = std::to_integer<std::uint8_t>(data[0]);
+  // Structural frame check only (no CRC): demux is on the hot path, and the
+  // per-type decoder re-verifies the full checksum via body().
+  const auto opened = util::frame_peek(data);
+  if (!opened || opened->empty()) return std::nullopt;
+  const auto t = std::to_integer<std::uint8_t>((*opened)[0]);
   if (t < static_cast<std::uint8_t>(MsgType::kOpenRequest) ||
       t > static_cast<std::uint8_t>(MsgType::kFrame)) {
     return std::nullopt;
@@ -45,6 +60,7 @@ void encode_into(const OpenRequest& m, util::Writer& w) {
   w.str(m.movie);
   put_endpoint(w, m.data_endpoint);
   w.f64(m.capability_fps);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const OpenRequest& m) {
@@ -61,6 +77,7 @@ std::optional<OpenRequest> decode_open_request(std::span<const std::byte> d) {
   m.movie = r->str();
   m.data_endpoint = get_endpoint(*r);
   m.capability_fps = r->f64();
+  check_fps(*r, m.capability_fps);
   if (!r->done()) return std::nullopt;
   return m;
 }
@@ -72,6 +89,7 @@ void encode_into(const OpenReply& m, util::Writer& w) {
   w.f64(m.fps);
   w.u64(m.frame_count);
   w.u32(m.avg_frame_bytes);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const OpenReply& m) {
@@ -89,6 +107,7 @@ std::optional<OpenReply> decode_open_reply(std::span<const std::byte> d) {
   m.fps = r->f64();
   m.frame_count = r->u64();
   m.avg_frame_bytes = r->u32();
+  check_fps(*r, m.fps);
   if (!r->done()) return std::nullopt;
   return m;
 }
@@ -97,6 +116,7 @@ void encode_into(const Flow& m, util::Writer& w) {
   begin(w, MsgType::kFlow);
   w.u64(m.client_id);
   w.u8(static_cast<std::uint8_t>(m.delta));
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Flow& m) {
@@ -111,6 +131,7 @@ std::optional<Flow> decode_flow(std::span<const std::byte> d) {
   Flow m;
   m.client_id = r->u64();
   m.delta = static_cast<std::int8_t>(r->u8());
+  if (m.delta != 1 && m.delta != -1) r->fail();  // only ±1 steps exist
   if (!r->done()) return std::nullopt;
   return m;
 }
@@ -119,6 +140,7 @@ void encode_into(const Emergency& m, util::Writer& w) {
   begin(w, MsgType::kEmergency);
   w.u64(m.client_id);
   w.u8(m.tier);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Emergency& m) {
@@ -133,6 +155,7 @@ std::optional<Emergency> decode_emergency(std::span<const std::byte> d) {
   Emergency m;
   m.client_id = r->u64();
   m.tier = r->u8();
+  if (m.tier != 1 && m.tier != 2) r->fail();  // critical or serious only
   if (!r->done()) return std::nullopt;
   return m;
 }
@@ -142,6 +165,7 @@ void encode_into(const Vcr& m, util::Writer& w) {
   w.u64(m.client_id);
   w.u8(static_cast<std::uint8_t>(m.op));
   w.u64(m.seek_frame);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Vcr& m) {
@@ -157,6 +181,7 @@ std::optional<Vcr> decode_vcr(std::span<const std::byte> d) {
   m.client_id = r->u64();
   m.op = static_cast<VcrOp>(r->u8());
   m.seek_frame = r->u64();
+  if (m.op < VcrOp::kPause || m.op > VcrOp::kStop) r->fail();
   if (!r->done()) return std::nullopt;
   return m;
 }
@@ -165,6 +190,7 @@ void encode_into(const SetQuality& m, util::Writer& w) {
   begin(w, MsgType::kSetQuality);
   w.u64(m.client_id);
   w.f64(m.fps);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const SetQuality& m) {
@@ -179,6 +205,7 @@ std::optional<SetQuality> decode_set_quality(std::span<const std::byte> d) {
   SetQuality m;
   m.client_id = r->u64();
   m.fps = r->f64();
+  check_fps(*r, m.fps);
   if (!r->done()) return std::nullopt;
   return m;
 }
@@ -197,6 +224,7 @@ void encode_into(const StateSync& m, util::Writer& w) {
     w.f64(c.capability_fps);
     w.boolean(c.paused);
   }
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const StateSync& m) {
@@ -212,7 +240,9 @@ std::optional<StateSync> decode_state_sync(std::span<const std::byte> d) {
   m.movie = r->str();
   m.exchange_tag = r->u64();
   const std::uint32_t n = r->u32();
-  if (!r->ok() || n > 1'000'000) return std::nullopt;
+  // Each encoded ClientRecord is exactly 47 bytes; a count the remaining
+  // bytes cannot hold is malformed — reject before reserving anything.
+  if (!r->ok() || n > r->remaining() / 47) return std::nullopt;
   m.clients.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     ClientRecord c;
@@ -223,6 +253,9 @@ std::optional<StateSync> decode_state_sync(std::span<const std::byte> d) {
     c.quality_fps = r->f64();
     c.capability_fps = r->f64();
     c.paused = r->boolean();
+    check_fps(*r, c.rate_fps);
+    check_fps(*r, c.quality_fps);
+    check_fps(*r, c.capability_fps);
     m.clients.push_back(c);
   }
   if (!r->done()) return std::nullopt;
@@ -235,6 +268,7 @@ void encode_into(const Frame& m, util::Writer& w) {
   w.u64(m.frame_index);
   w.u8(static_cast<std::uint8_t>(m.type));
   w.u32(m.size_bytes);
+  util::frame_seal(w);
 }
 
 util::Bytes encode(const Frame& m) {
@@ -251,6 +285,7 @@ std::optional<Frame> decode_frame(std::span<const std::byte> d) {
   m.frame_index = r->u64();
   m.type = static_cast<mpeg::FrameType>(r->u8());
   m.size_bytes = r->u32();
+  if (m.type > mpeg::FrameType::kB) r->fail();
   if (!r->done()) return std::nullopt;
   return m;
 }

@@ -1,6 +1,10 @@
 // VoD protocol messages. Control messages travel through GCS groups
 // (server group, movie groups, session groups); video frames travel as raw
 // datagrams from the server's data socket to the client's data socket.
+// Every datagram carries the 8-byte integrity header (util/frame.hpp);
+// decoders verify length + CRC32C before reading a single field and
+// bounds-check semantic values (rates, ops, counts), so a damaged or
+// hostile datagram is rejected exactly like a lost one.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,7 @@
 #include "mpeg/frame.hpp"
 #include "net/address.hpp"
 #include "util/codec.hpp"
+#include "util/frame.hpp"
 
 namespace ftvod::vod::wire {
 
@@ -93,9 +98,10 @@ struct Frame {
   std::uint32_t size_bytes = 0;
 };
 
-/// Encoded size of a Frame header (the rest of the frame's bytes are
-/// accounted as padding on the data socket).
-inline constexpr std::size_t kFrameHeaderBytes = 1 + 8 + 8 + 1 + 4;
+/// Encoded size of a Frame header, integrity framing included (the rest of
+/// the frame's bytes are accounted as padding on the data socket).
+inline constexpr std::size_t kFrameHeaderBytes =
+    util::kIntegrityHeaderBytes + 1 + 8 + 8 + 1 + 4;
 
 /// encode_into() clears `w` and encodes the message into it, reusing the
 /// writer's capacity — the allocation-free path for per-frame/per-tick

@@ -96,6 +96,7 @@ TEST(ChaosPlan, EveryFaultHasAMatchingLaterRepair) {
           EXPECT_EQ(open_partitions, 0);
           break;
         case ChaosEventKind::kDegradeLink:
+        case ChaosEventKind::kCorruptLink:
           EXPECT_NE(e.a, e.b);
           EXPECT_TRUE(degraded.insert({e.a, e.b}).second);
           break;
@@ -153,6 +154,48 @@ TEST(ChaosPlan, NeverDropsBelowMinLiveServers) {
       }
       EXPECT_GE(kServers.size() - unhealthy.size(), opts.min_live_servers)
           << "seed " << seed << " at t=" << e.at;
+    }
+  }
+}
+
+TEST(ChaosPlan, CorruptLinkFaultsPairUpAndCarryDamage) {
+  // The corrupt-link class is opt-in (weight 0 by default); enabling it
+  // must produce paired corrupt/restore flaps whose quality actually
+  // damages payloads and bursts losses.
+  ChaosOptions opts;
+  opts.weight_corrupt = 2.0;
+  bool saw_corrupt = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, opts, kServers, kClients);
+    std::set<std::pair<net::NodeId, net::NodeId>> open;
+    for (const ChaosEvent& e : plan.events()) {
+      if (e.kind == ChaosEventKind::kCorruptLink) {
+        saw_corrupt = true;
+        EXPECT_NE(e.a, e.b);
+        EXPECT_GT(e.quality.corrupt, 0.0);
+        EXPECT_GT(e.quality.truncate, 0.0);
+        EXPECT_TRUE(e.quality.bursty());
+        EXPECT_GT(e.quality.loss_bad, 0.0);
+        EXPECT_TRUE(open.insert({e.a, e.b}).second) << "seed " << seed;
+      } else if (e.kind == ChaosEventKind::kDegradeLink) {
+        EXPECT_TRUE(open.insert({e.a, e.b}).second) << "seed " << seed;
+      } else if (e.kind == ChaosEventKind::kRestoreLink) {
+        EXPECT_EQ(open.erase({e.a, e.b}), 1u) << "seed " << seed;
+      }
+    }
+    EXPECT_TRUE(open.empty()) << "seed " << seed;
+  }
+  EXPECT_TRUE(saw_corrupt);
+}
+
+TEST(ChaosPlan, DefaultOptionsNeverCorrupt) {
+  // Plans generated before the hostile fault model existed must stay
+  // byte-identical for the same seed: the default weight keeps the new
+  // class out entirely.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosPlan plan = ChaosPlan::generate(seed, {}, kServers, kClients);
+    for (const ChaosEvent& e : plan.events()) {
+      EXPECT_NE(e.kind, ChaosEventKind::kCorruptLink);
     }
   }
 }

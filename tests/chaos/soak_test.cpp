@@ -35,10 +35,7 @@ class ChaosSoak : public ::testing::TestWithParam<std::tuple<int, bool>> {
   }
 };
 
-TEST_P(ChaosSoak, InvariantsHoldUnderMixedFaults) {
-  const auto [seed_int, wan] = GetParam();
-  const auto seed = static_cast<std::uint64_t>(seed_int);
-
+void run_soak(std::uint64_t seed, bool wan, const ChaosOptions& copts) {
   vod::Deployment dep(seed, wan ? net::wan_quality() : net::lan_quality());
   std::vector<net::NodeId> server_nodes;
   std::vector<net::NodeId> client_nodes;
@@ -57,9 +54,6 @@ TEST_P(ChaosSoak, InvariantsHoldUnderMixedFaults) {
   for (auto& cn : dep.clients()) cn->client->watch("feature");
   dep.run_for(sim::sec(3.0));
 
-  // Default options: faults drawn in [8 s, 60 s), at least one server
-  // always left healthy. Repairs may land a few seconds past the window.
-  const ChaosOptions copts;
   const ChaosPlan plan =
       ChaosPlan::generate(seed, copts, server_nodes, client_nodes);
   ASSERT_FALSE(plan.events().empty());
@@ -89,13 +83,45 @@ TEST_P(ChaosSoak, InvariantsHoldUnderMixedFaults) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, ChaosSoak,
-    ::testing::Combine(::testing::Range(1, 23), ::testing::Bool()),
+TEST_P(ChaosSoak, InvariantsHoldUnderMixedFaults) {
+  const auto [seed_int, wan] = GetParam();
+  // Default options: faults drawn in [8 s, 60 s), at least one server
+  // always left healthy. Repairs may land a few seconds past the window.
+  run_soak(static_cast<std::uint64_t>(seed_int), wan, ChaosOptions{});
+}
+
+using CorruptChaosSoak = ChaosSoak;
+
+TEST_P(CorruptChaosSoak, InvariantsHoldUnderCorruptionAndBursts) {
+  const auto [seed_int, wan] = GetParam();
+  // Same mixed-fault schedule, but with corrupt-link flaps enabled: link
+  // pairs transiently flip bits, truncate datagrams, and enter loss-burst
+  // regimes. Every damaged datagram must be caught by the integrity
+  // framing and handled exactly like loss — same invariants as the plain
+  // sweep, no extra allowance.
+  ChaosOptions copts;
+  copts.weight_corrupt = 1.5;
+  run_soak(static_cast<std::uint64_t>(seed_int), wan, copts);
+}
+
+const auto kSoakNamer =
     [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
       return std::string(std::get<1>(info.param) ? "wan" : "lan") + "_seed" +
              std::to_string(std::get<0>(info.param));
-    });
+    };
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChaosSoak,
+    ::testing::Combine(::testing::Range(1, 23), ::testing::Bool()),
+    kSoakNamer);
+
+// The corrupting sweep runs a subset of the seeds: every plan differs from
+// the plain sweep's anyway (the extra fault class changes the whole
+// schedule), so a handful of seeds buys coverage without doubling the tier.
+INSTANTIATE_TEST_SUITE_P(
+    CorruptSweep, CorruptChaosSoak,
+    ::testing::Combine(::testing::Values(3, 7, 11, 16, 20), ::testing::Bool()),
+    kSoakNamer);
 
 }  // namespace
 }  // namespace ftvod::testing

@@ -1,0 +1,157 @@
+// The Gilbert–Elliott bursty-loss channel: loss runs have the configured
+// geometric length distribution, burst losses are accounted separately
+// from the i.i.d. floor, the channel is off unless explicitly enabled,
+// and a bursty run is exactly as reproducible as a clean one.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ftvod::net {
+namespace {
+
+util::Bytes seq_msg(std::uint32_t i) {
+  util::Writer w;
+  w.u32(i);
+  return w.take();
+}
+
+// Streams `n` sequence-numbered datagrams a->b at 1 ms spacing over the
+// given link quality and returns the sequence numbers that arrived.
+std::vector<std::uint32_t> stream(std::uint64_t seed, const LinkQuality& q,
+                                  std::uint32_t n,
+                                  HostStats* sender_stats = nullptr) {
+  sim::Scheduler sched;
+  util::Rng rng(seed);
+  Network net(sched, rng);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.set_quality(a, b, q);
+
+  std::vector<std::uint32_t> got;
+  auto sb = net.bind(b, 9, [&](const Endpoint&, std::span<const std::byte> d) {
+    util::Reader r(d);
+    got.push_back(r.u32());
+  });
+  auto sa = net.bind(a, 5, nullptr);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sched.at(static_cast<sim::Time>(i) * sim::msec(1),
+             [&, i] { sa->send({b, 9}, seq_msg(i)); });
+  }
+  sched.run();
+  if (sender_stats != nullptr) *sender_stats = net.stats(a);
+  return got;
+}
+
+// Lengths of the runs of consecutive missing sequence numbers.
+std::vector<std::uint32_t> loss_runs(const std::vector<std::uint32_t>& got,
+                                     std::uint32_t n) {
+  const std::set<std::uint32_t> have(got.begin(), got.end());
+  std::vector<std::uint32_t> runs;
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (have.contains(i)) {
+      if (run > 0) runs.push_back(run);
+      run = 0;
+    } else {
+      ++run;
+    }
+  }
+  if (run > 0) runs.push_back(run);
+  return runs;
+}
+
+TEST(BurstLoss, OffByDefaultEvenWithBadStateConfigured) {
+  // loss_bad is inert while p_good_to_bad == 0: the channel never leaves
+  // the good state, so a "clean" link with stale bad-state fields in its
+  // config still delivers everything.
+  LinkQuality q;
+  q.jitter = 0;
+  q.loss_bad = 1.0;
+  q.p_bad_to_good = 0.25;
+  EXPECT_FALSE(q.bursty());
+  const auto got = stream(7, q, 2'000);
+  EXPECT_EQ(got.size(), 2'000u);
+}
+
+TEST(BurstLoss, MeanBurstLengthMatchesTheChannel) {
+  // Pure burst channel: no i.i.d. floor, certain loss in the bad state.
+  // Loss runs are then exactly the bad-state sojourns — geometric with
+  // mean 1/p_bad_to_good = 4 packets.
+  LinkQuality q;
+  q.jitter = 0;
+  q.loss = 0.0;
+  q.p_good_to_bad = 0.02;
+  q.p_bad_to_good = 0.25;
+  q.loss_bad = 1.0;
+  EXPECT_TRUE(q.bursty());
+
+  constexpr std::uint32_t kPackets = 20'000;
+  HostStats stats;
+  const auto got = stream(42, q, kPackets, &stats);
+  const auto runs = loss_runs(got, kPackets);
+  ASSERT_GT(runs.size(), 100u);  // enough bursts for the statistics
+
+  std::uint64_t lost = 0;
+  std::uint32_t longest = 0;
+  for (std::uint32_t r : runs) {
+    lost += r;
+    longest = std::max(longest, r);
+  }
+  const double mean = static_cast<double>(lost) /
+                      static_cast<double>(runs.size());
+  EXPECT_NEAR(mean, 4.0, 0.7);
+  // A geometric tail: multi-packet bursts must actually occur.
+  EXPECT_GE(longest, 8u);
+
+  // Overall loss fraction ~= the stationary bad-state probability,
+  // p_g2b / (p_g2b + p_b2g) ~= 7.4 %.
+  EXPECT_NEAR(static_cast<double>(lost) / kPackets, 0.074, 0.025);
+
+  // Every one of those losses is attributed to the burst counter, and
+  // none to the (zero-probability) i.i.d. floor.
+  EXPECT_EQ(stats.dropped_burst, lost);
+  EXPECT_EQ(stats.dropped_loss, lost);
+}
+
+TEST(BurstLoss, BurstsRideOnTopOfTheIidFloor) {
+  // With both mechanisms on, the floor alone cannot explain the loss
+  // volume, and the burst counter stays a strict subset of total loss.
+  LinkQuality q;
+  q.jitter = 0;
+  q.loss = 0.01;
+  q.p_good_to_bad = 0.02;
+  q.p_bad_to_good = 0.25;
+  q.loss_bad = 0.5;
+
+  constexpr std::uint32_t kPackets = 20'000;
+  HostStats stats;
+  const auto got = stream(11, q, kPackets, &stats);
+  const std::uint64_t lost = kPackets - got.size();
+  EXPECT_EQ(stats.dropped_loss, lost);
+  EXPECT_GT(stats.dropped_burst, 0u);
+  EXPECT_LT(stats.dropped_burst, lost);
+  // Expected loss: good-state floor (~0.93 * 1 %) + bad state (~7.4 % * 50 %)
+  // ~= 4.6 %. Well above the floor alone.
+  EXPECT_GT(static_cast<double>(lost) / kPackets, 0.025);
+  EXPECT_LT(static_cast<double>(lost) / kPackets, 0.075);
+}
+
+TEST(BurstLoss, SameSeedSameBursts) {
+  LinkQuality q;
+  q.jitter = sim::msec(2);
+  q.loss = 0.01;
+  q.p_good_to_bad = 0.02;
+  q.p_bad_to_good = 0.25;
+  q.loss_bad = 0.6;
+  const auto a = stream(99, q, 5'000);
+  const auto b = stream(99, q, 5'000);
+  EXPECT_EQ(a, b);  // identical deliveries, in the identical order
+  const auto c = stream(100, q, 5'000);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace ftvod::net

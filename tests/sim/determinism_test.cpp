@@ -78,8 +78,9 @@ TEST(Determinism, DifferentSeedsDiffer) {
   const RunResult a = run_scenario(1);
   const RunResult b = run_scenario(2);
   // The deterministic protocol work is the same; the jitter draws differ,
-  // so the low-level event stream must differ.
-  EXPECT_NE(a.events, b.events);
+  // so the runs must differ somewhere (event count, deliveries, or wire
+  // volume — any single scalar can coincide by chance).
+  EXPECT_NE(a, b);
 }
 
 }  // namespace

@@ -42,9 +42,46 @@ TEST(Client, OpenRetriesUntilServerExists) {
   EXPECT_GE(retries, 2u);
 
   bed.server(0).add_movie(mpeg::Movie::synthetic("late-movie", 120.0));
-  bed.run_for(4.0);
+  // The third retry can land up to ~8.75 s in (backed-off delay 4 s plus
+  // jitter on top of the first two); leave room for it plus some playback.
+  bed.run_for(8.0);
   EXPECT_TRUE(bed.client().connected());
   EXPECT_GT(bed.client().counters().displayed, 50u);
+}
+
+TEST(Client, OpenRetrySpacingGrowsGeometricallyToTheCap) {
+  // Asking for a movie nobody serves: retry k fires after base * 2^k plus
+  // a jitter of at most a quarter of the delay, capped at open_retry_cap.
+  VodTestBed bed(1, 1);
+  bed.client().watch("does-not-exist");
+  const sim::Time t0 = bed.deployment().scheduler().now();
+  std::vector<sim::Time> retry_at;
+  std::uint64_t seen = 0;
+  for (int step = 0; step < 1200 && retry_at.size() < 6; ++step) {
+    bed.run_for(0.05);
+    const std::uint64_t n = bed.client().control_stats().open_retries;
+    if (n > seen) {
+      seen = n;
+      retry_at.push_back(bed.deployment().scheduler().now());
+    }
+  }
+  ASSERT_GE(retry_at.size(), 5u);
+
+  const VodParams p;
+  sim::Duration expected = p.open_retry;
+  sim::Time prev = t0;
+  for (std::size_t k = 0; k < retry_at.size(); ++k) {
+    const sim::Duration gap = retry_at[k] - prev;
+    prev = retry_at[k];
+    // Each gap is the nominal (doubling, capped) delay plus up to 25 %
+    // jitter, measured to one 50 ms sampling step of slack either way.
+    EXPECT_GE(gap, expected - sim::msec(60)) << "retry " << k;
+    EXPECT_LE(gap, expected + expected / 4 + sim::msec(60)) << "retry " << k;
+    expected = std::min(2 * expected, p.open_retry_cap);
+  }
+  // The spacing genuinely grew: the last observed gap is several times
+  // the first (geometric, not linear, growth).
+  EXPECT_GE(retry_at[4] - retry_at[3], 4 * (retry_at[0] - t0));
 }
 
 TEST(Client, ReconnectsAfterSessionLoss) {
