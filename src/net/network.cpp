@@ -115,6 +115,18 @@ void Network::restore_host(NodeId node) {
   // serialize into the revived host's link budget.
   h.uplink_free_at = sched_->now();
   h.downlink_free_at = sched_->now();
+  // The Gilbert–Elliott channels touching this host restart in the good
+  // state too. A reboot takes seconds; carrying the pre-crash bad-burst
+  // state across it would greet the revived host — typically a server
+  // re-registering its catalog with the placement controller — with an
+  // immediate artificial loss burst on links that were idle the whole time.
+  for (auto it = burst_state_.begin(); it != burst_state_.end();) {
+    if (it->first.first == node || it->first.second == node) {
+      it = burst_state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   util::log_info(kLog, "host ", h.name, " (n", node, ") restored");
 }
 

@@ -303,8 +303,14 @@ void ChaosInjector::apply(const ChaosEvent& e) {
       vod::Deployment::ServerNode* sn = dep_->restart_server(e.a);
       if (sn == nullptr) break;
       util::log_info(kLog, "restarted server on n", e.a);
-      for (const auto& movie : catalog_snapshot_[e.a]) {
-        sn->server->add_movie(movie);
+      if (restart_delegate_) {
+        // Recovery belongs to the placement controller: it re-registers
+        // the titles this node should hold *now*, not the pre-crash set.
+        restart_delegate_(e.a, *sn);
+      } else {
+        for (const auto& movie : catalog_snapshot_[e.a]) {
+          sn->server->add_movie(movie);
+        }
       }
       break;
     }

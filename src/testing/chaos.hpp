@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,19 @@ class ChaosInjector {
 
   void arm();
 
+  /// Overrides crash recovery: after restart_server() the delegate — not
+  /// the built-in catalog snapshot — restores the rebooted server's movies.
+  /// A live placement controller must own this (its desired state may have
+  /// moved replicas while the host was down; re-adding a stale snapshot
+  /// would fight it), typically:
+  ///   injector.set_restart_delegate([&](net::NodeId n, auto&) {
+  ///     controller.handle_restart(n);
+  ///   });
+  void set_restart_delegate(
+      std::function<void(net::NodeId, vod::Deployment::ServerNode&)> fn) {
+    restart_delegate_ = std::move(fn);
+  }
+
   [[nodiscard]] const ChaosPlan& plan() const { return plan_; }
   [[nodiscard]] std::size_t events_applied() const { return applied_; }
 
@@ -118,6 +132,8 @@ class ChaosInjector {
   std::size_t applied_ = 0;
   std::map<net::NodeId, std::vector<std::shared_ptr<const mpeg::Movie>>>
       catalog_snapshot_;
+  std::function<void(net::NodeId, vod::Deployment::ServerNode&)>
+      restart_delegate_;
 };
 
 }  // namespace ftvod::testing

@@ -43,6 +43,52 @@ void InvariantMonitor::check_now() {
   check_ownership_and_liveness();
   if (opts_.check_assignment_agreement) check_assignment_agreement();
   if (opts_.check_buffers) check_buffers();
+  if (opts_.replication_floor > 0) check_replication();
+}
+
+void InvariantMonitor::check_replication() {
+  // Invariant 5: every actively watched title keeps its k-tolerance floor
+  // of healthy replicas — the placement controller's core promise. Brief
+  // dips are legitimate (a crash takes a replica; the repair takes failure
+  // detection plus a control period), so only a dip outliving the grace
+  // window is a violation.
+  const sim::Time now = dep_->scheduler().now();
+  std::map<std::string, std::size_t> watched;  // title -> watching clients
+  for (auto& cn : dep_->clients()) {
+    const vod::VodClient& c = *cn->client;
+    if (c.watching() && !c.at_end() && dep_->network().alive(cn->node)) {
+      ++watched[c.movie()];
+    }
+  }
+  std::size_t healthy_servers = 0;
+  for (auto& sn : dep_->servers()) {
+    if (server_healthy(*sn)) ++healthy_servers;
+  }
+  const std::size_t required =
+      std::min(opts_.replication_floor, healthy_servers);
+
+  for (const auto& [title, viewers] : watched) {
+    std::size_t replicas = 0;
+    for (auto& sn : dep_->servers()) {
+      if (server_healthy(*sn) && sn->server->catalog().contains(title)) {
+        ++replicas;
+      }
+    }
+    if (replicas >= required) {
+      under_replicated_since_.erase(title);
+      continue;
+    }
+    const auto [it, fresh] = under_replicated_since_.try_emplace(title, now);
+    if (!fresh && now - it->second > opts_.under_replicated_grace) {
+      std::ostringstream os;
+      os << "title '" << title << "' with " << viewers
+         << " watching clients under-replicated: " << replicas << " < "
+         << required << " healthy replicas for more than "
+         << static_cast<double>(opts_.under_replicated_grace) / 1e6 << "s";
+      record(os.str());
+      it->second = now;  // rate-limit: one report per grace window
+    }
+  }
 }
 
 void InvariantMonitor::check_ownership_and_liveness() {

@@ -37,6 +37,16 @@ struct InvariantOptions {
   sim::Duration multi_serve_grace = sim::sec(8.0);
   bool check_assignment_agreement = true;
   bool check_buffers = true;
+  /// Invariant 5 (no under-replicated title): a title with at least one
+  /// watching client must be held by at least min(replication_floor,
+  /// healthy-server count) healthy servers. 0 disables the check (the
+  /// default — deployments without a placement controller pin replicas by
+  /// hand and legitimately run titles at one copy).
+  std::size_t replication_floor = 0;
+  /// How long a title may sit under its floor before it counts as a
+  /// violation: the placement controller needs a control period or two
+  /// (plus failure detection) to direct a repair.
+  sim::Duration under_replicated_grace = sim::sec(6.0);
   /// Stop recording (but keep counting) beyond this many violations.
   std::size_t max_recorded = 64;
 };
@@ -80,11 +90,14 @@ class InvariantMonitor {
   void check_ownership_and_liveness();
   void check_assignment_agreement();
   void check_buffers();
+  void check_replication();
 
   vod::Deployment* dep_;
   InvariantOptions opts_;
   sim::PeriodicTimer timer_;
   std::map<std::uint64_t, ClientTrack> tracks_;  // by client id
+  /// Title -> time it first dipped below the replication floor (invariant 5).
+  std::map<std::string, sim::Time> under_replicated_since_;
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;

@@ -17,23 +17,25 @@ std::uint64_t make_client_id(net::NodeId node) {
 }  // namespace
 
 VodClient::VodClient(sim::Scheduler& sched, net::Network& net,
-                     gcs::Daemon& daemon, VodParams params)
+                     gcs::Daemon& daemon, VodParams params,
+                     net::NodeId data_node)
     : sched_(&sched),
       net_(&net),
       daemon_(&daemon),
       params_(params),
-      client_id_(make_client_id(daemon.self())),
+      node_(data_node),
+      client_id_(make_client_id(data_node)),
       flow_(params),
       display_timer_(sched, sim::msec(33), [this] { display_tick(); }),
       watchdog_timer_(sched, params.watchdog_period,
                       [this] { watchdog_tick(); }),
       open_retry_timer_(sched) {
-  data_socket_ = net_->bind(daemon_->self(), params_.client_data_port,
+  data_socket_ = net_->bind(node_, params_.client_data_port,
                             [this](const net::Endpoint& from,
                                    std::span<const std::byte> d) {
                               on_datagram(from, d);
                             });
-  net_->on_crash(daemon_->self(), [this] {
+  net_->on_crash(node_, [this] {
     halted_ = true;
     display_timer_.stop();
     watchdog_timer_.stop();
@@ -58,11 +60,36 @@ double VodClient::high_water_frames() const {
 }
 
 void VodClient::watch(const std::string& movie, double capability_fps) {
+  if (halted_) return;
+  // watch() starts a fresh viewing session. Clear every remnant of a
+  // previous one first: a stop()ed session leaves the old movie's buffers
+  // and display position behind, and the reconnect logic in
+  // on_session_message() would "helpfully" seek the *new* session to the
+  // *old* movie's offset. (This is the reuse bug the workload driver's
+  // client pool tripped over.)
+  if (session_member_) {
+    session_member_->leave();
+    session_member_.reset();
+  }
+  display_timer_.stop();
+  open_retry_timer_.cancel();
+  open_retry_delay_ = 0;
+  buffers_.reset();
+  flow_.reset();
+  connected_ = false;
+  playing_ = false;
+  paused_ = false;
+  movie_frames_ = 0;
+  last_progress_frame_ = -1;
+  resync_attempts_ = 0;
+  last_emergency_tier_ = 255;
+  last_emergency_at_ = -1'000'000'000;
+
   movie_ = movie;
   capability_fps_ = capability_fps;
   // Join the session group before announcing it: the reply arrives there.
   session_member_ = daemon_->join(
-      session_group_name(client_id_),
+      session_group_name(client_id_, movie_),
       gcs::GroupCallbacks{
           [this](const gcs::GcsEndpoint& from, std::span<const std::byte> d) {
             on_session_message(from, d);
@@ -93,7 +120,11 @@ void VodClient::send_open_request() {
 void VodClient::on_session_message(const gcs::GcsEndpoint& from,
                                    std::span<const std::byte> d) {
   if (halted_) return;
-  if (from.node == daemon_->self()) return;  // our own control messages
+  // Precise self-filter: compare full endpoints, not nodes. On a shared
+  // gateway daemon every local member reports the gateway's node id, so a
+  // node-level check would also drop messages from legitimate senders that
+  // happen to share the daemon.
+  if (session_member_ && from == session_member_->endpoint()) return;
   if (wire::peek_type(d) != wire::MsgType::kOpenReply) {
     ++control_stats_.malformed_dropped;
     return;
@@ -319,8 +350,22 @@ void VodClient::stop() {
   display_timer_.stop();
   watchdog_timer_.stop();
   open_retry_timer_.cancel();
+  open_retry_delay_ = 0;
+  // Drop the decoder state too, not just the control plane: the server
+  // keeps streaming for a round trip after the Stop, and a late frame
+  // landing in still-live buffers would re-arm the display loop on a
+  // session that no longer exists — a zombie client that plays its buffer
+  // tail and then "stalls" forever. With the buffers gone, on_datagram()
+  // discards the stragglers at the door.
+  buffers_.reset();
+  flow_.reset();
   connected_ = false;
   playing_ = false;
+  paused_ = false;
+  movie_frames_ = 0;
+  last_progress_frame_ = -1;
+  resync_attempts_ = 0;
+  last_emergency_tier_ = 255;
 }
 
 }  // namespace ftvod::vod

@@ -36,8 +36,17 @@ struct ClientControlStats {
 
 class VodClient {
  public:
+  /// `data_node` is the host the client's data socket (and crash hook) bind
+  /// to. At city scale the client lives on its own edge host but shares a
+  /// *gateway* daemon with thousands of peers (Spread's model: daemons on a
+  /// few well-connected nodes, lightweight members everywhere), so the
+  /// control-plane daemon and the data-plane host are distinct nodes.
   VodClient(sim::Scheduler& sched, net::Network& net, gcs::Daemon& daemon,
-            VodParams params);
+            VodParams params, net::NodeId data_node);
+  /// Convenience: client co-located with its own daemon.
+  VodClient(sim::Scheduler& sched, net::Network& net, gcs::Daemon& daemon,
+            VodParams params)
+      : VodClient(sched, net, daemon, params, daemon.self()) {}
   ~VodClient() = default;
   VodClient(const VodClient&) = delete;
   VodClient& operator=(const VodClient&) = delete;
@@ -56,6 +65,11 @@ class VodClient {
   [[nodiscard]] bool connected() const { return connected_; }
   [[nodiscard]] bool playing() const { return playing_; }
   [[nodiscard]] bool paused() const { return paused_; }
+  /// True between watch() and stop(): the client wants (or receives) a
+  /// stream right now. Placement and the under-replication invariant key on
+  /// this, not on connected(), which flaps during takeovers.
+  [[nodiscard]] bool watching() const { return session_member_ != nullptr; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
   [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
   /// The title requested by watch(), empty before the first watch().
   [[nodiscard]] const std::string& movie() const { return movie_; }
@@ -98,6 +112,7 @@ class VodClient {
   net::Network* net_;
   gcs::Daemon* daemon_;
   VodParams params_;
+  net::NodeId node_;  // data-plane host; may differ from daemon_->self()
 
   std::uint64_t client_id_;
   std::string movie_;

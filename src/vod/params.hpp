@@ -78,8 +78,15 @@ inline std::string server_group_name() { return "vod.servers"; }
 inline std::string movie_group_name(const std::string& movie) {
   return "vod.movie." + movie;
 }
-inline std::string session_group_name(std::uint64_t client_id) {
-  return "vod.session." + std::to_string(client_id);
+// The session channel is keyed by (client, title), not client alone. With a
+// per-client group, a stale session left behind by a title switch would see
+// the client "present" in the group — it is there, but for its *new* title —
+// and the only-we-are-left view cleanup could never reclaim it; the ghost
+// would stream the old movie forever. Keyed by title too, the ghost lands in
+// a group the client has genuinely left and dies on its first view.
+inline std::string session_group_name(std::uint64_t client_id,
+                                      const std::string& movie) {
+  return "vod.session." + std::to_string(client_id) + "." + movie;
 }
 
 }  // namespace ftvod::vod

@@ -56,7 +56,9 @@ void VodServer::detach() {
   for (auto& [name, ms] : movies_) ms->member.reset();
   server_group_.reset();
   std::vector<std::uint64_t> clients;
-  for (const auto& [client, movie] : session_movie_) clients.push_back(client);
+  clients.reserve(session_index_.size());
+  for (const auto& [client, slot] : session_index_) clients.push_back(client);
+  std::sort(clients.begin(), clients.end());  // id order, not hash order
   for (std::uint64_t c : clients) close_session(c, /*client_gone=*/false);
   halt();
 }
@@ -65,9 +67,27 @@ void VodServer::halt() {
   if (halted_) return;
   halted_ = true;
   sync_timer_.stop();
-  for (auto& [id, s] : sessions_) s->send_timer.cancel();
+  for (const auto& [id, slot] : session_index_) {
+    session_slab_[slot]->send_timer.cancel();
+  }
   for (auto& [name, ms] : movies_) ms->rebalance_timer.cancel();
   util::log_info(kLog, "server n", daemon_->self(), " halted");
+}
+
+VodServer::Session* VodServer::find_session(std::uint64_t client_id) {
+  const auto it = session_index_.find(client_id);
+  return it == session_index_.end() ? nullptr : session_slab_[it->second].get();
+}
+
+const VodServer::Session* VodServer::find_session(
+    std::uint64_t client_id) const {
+  const auto it = session_index_.find(client_id);
+  return it == session_index_.end() ? nullptr : session_slab_[it->second].get();
+}
+
+std::size_t VodServer::session_count(const std::string& movie) const {
+  const auto it = movies_.find(movie);
+  return it == movies_.end() ? 0 : it->second->local_sessions.size();
 }
 
 void VodServer::add_movie(std::shared_ptr<const mpeg::Movie> movie) {
@@ -97,10 +117,7 @@ void VodServer::remove_movie(const std::string& name) {
   if (it == movies_.end()) return;
   // Close local sessions for this movie; survivors will adopt the clients
   // when our leave is observed as a movie-group view change.
-  std::vector<std::uint64_t> to_close;
-  for (const auto& [client, movie] : session_movie_) {
-    if (movie == name) to_close.push_back(client);
-  }
+  const std::vector<std::uint64_t> to_close = it->second->local_sessions;
   for (std::uint64_t c : to_close) close_session(c, /*client_gone=*/false);
   movies_.erase(it);
 }
@@ -129,17 +146,44 @@ void VodServer::handle_open_request(const wire::OpenRequest& req) {
 
   // Duplicate open (client retry): if we already serve it, re-send the
   // reply; if someone else owns it, stay silent.
-  if (auto sit = sessions_.find(req.client_id); sit != sessions_.end()) {
+  if (Session* existing = find_session(req.client_id)) {
+    ms.open_deferrals.erase(req.client_id);
     wire::OpenReply reply{req.client_id, req.movie, ms.movie->fps(),
                           ms.movie->frame_count(),
                           ms.movie->avg_frame_bytes()};
-    sit->second->member->send(wire::encode(reply));
+    existing->member->send(wire::encode(reply));
     return;
   }
-  if (ms.owners.contains(req.client_id) &&
-      std::binary_search(ms.view_servers.begin(), ms.view_servers.end(),
-                         ms.owners[req.client_id])) {
-    if (ms.owners[req.client_id] != daemon_->self()) return;
+  // A client that had to ask twice in a row is provably unserved: a served
+  // client never retries (the branch above re-sends the reply on the first
+  // retry, and its owner's periodic syncs erase this counter at every
+  // peer). One full retry interval without a session anywhere means the
+  // owner tables are lying — either a stale claim on a live peer (nobody
+  // believes they should serve), or an election over divergent tables in
+  // which no member picked itself. Both deadlock without this: divergent
+  // fallback rebalances keep the tables disagreeing, and every retry just
+  // replays the same silent outcome. The rescue must not depend on those
+  // tables (their divergence is the very failure being repaired): the
+  // lowest-id member of the movie-group view serves, a choice every member
+  // computes identically from the view alone. The counter survives until a
+  // session exists, so a lost rescue retries on the next ask.
+  bool rescue = false;
+  if (++ms.open_deferrals[req.client_id] >= 2) {
+    ms.open_deferrals.erase(req.client_id);
+    ms.records.erase(req.client_id);
+    ms.owners.erase(req.client_id);
+    ms.absent_counts.erase(req.client_id);
+    if (!ms.view_servers.empty() &&
+        ms.view_servers.front() != daemon_->self()) {
+      return;  // the rescuer's copy of this same request opens
+    }
+    rescue = true;
+  } else if (ms.owners.contains(req.client_id) &&
+             std::binary_search(ms.view_servers.begin(),
+                                ms.view_servers.end(),
+                                ms.owners[req.client_id]) &&
+             ms.owners[req.client_id] != daemon_->self()) {
+    return;  // first ask: defer to the believed live owner
   }
 
   // Every holder of the movie sees the same (totally ordered) request and
@@ -147,7 +191,8 @@ void VodServer::handle_open_request(const wire::OpenRequest& req) {
   const std::vector<net::NodeId> servers =
       ms.view_servers.empty() ? std::vector<net::NodeId>{daemon_->self()}
                               : ms.view_servers;
-  const net::NodeId chosen = choose_for_new_client(ms.owners, servers);
+  const net::NodeId chosen =
+      rescue ? daemon_->self() : choose_for_new_client(ms.owners, servers);
 
   wire::ClientRecord rec;
   rec.client_id = req.client_id;
@@ -160,6 +205,7 @@ void VodServer::handle_open_request(const wire::OpenRequest& req) {
   ms.owners[req.client_id] = chosen;
 
   if (chosen == daemon_->self()) {
+    ms.open_deferrals.erase(req.client_id);
     ++stats_.sessions_opened;
     open_session(rec, ms.movie, /*is_takeover=*/false);
   }
@@ -219,6 +265,7 @@ void VodServer::apply_state_sync(net::NodeId from, const wire::StateSync& s) {
     ms.records[rec.client_id] = rec;
     ms.owners[rec.client_id] = from;
     ms.absent_counts.erase(rec.client_id);
+    ms.open_deferrals.erase(rec.client_id);
 
     // Conflict repair: divergent fallback rebalances can leave two members
     // both streaming to the same client, and nothing else ever closes the
@@ -226,9 +273,9 @@ void VodServer::apply_state_sync(net::NodeId from, const wire::StateSync& s) {
     // also serve, the higher id yields — both sides apply the same rule, so
     // exactly one session survives. The threshold rides out transient
     // hand-off overlap (an in-flight exchange resolves within ~2 syncs).
-    const auto smit = session_movie_.find(rec.client_id);
-    if (from < daemon_->self() && smit != session_movie_.end() &&
-        smit->second == s.movie) {
+    const Session* local = find_session(rec.client_id);
+    if (from < daemon_->self() && local != nullptr &&
+        local->movie->name() == s.movie) {
       if (++ms.conflict_counts[rec.client_id] >= 3) {
         ms.conflict_counts.erase(rec.client_id);
         ++stats_.migrations_out;
@@ -283,12 +330,11 @@ void VodServer::on_movie_group_view(const std::string& movie,
   wire::StateSync table;
   table.movie = movie;
   table.exchange_tag = ms.exchange_tag;
-  for (const auto& [client, m] : session_movie_) {
-    if (m != movie) continue;
+  for (const std::uint64_t client : ms.local_sessions) {
     // Advertise the last *synced* state (see Session::synced_rec): the
     // paper's conservative approach, so a takeover re-sends (duplicates)
     // rather than skips frames.
-    table.clients.push_back(sessions_.at(client)->synced_rec);
+    table.clients.push_back(find_session(client)->synced_rec);
   }
   ms.member->send(wire::encode(table));
 
@@ -315,7 +361,7 @@ void VodServer::rebalance_now(const std::string& movie, bool authoritative) {
   ms.last_rebalance = RebalanceSnapshot{ms.exchange_tag, authoritative,
                                         ms.view_servers, ms.owners, next};
   for (const auto& [client, owner] : next) {
-    const bool serving = sessions_.contains(client);
+    const bool serving = session_index_.contains(client);
     if (owner == daemon_->self() && !serving) {
       ++stats_.takeovers;
       util::log_info(kLog, "server n", daemon_->self(), " takes over client ",
@@ -350,7 +396,24 @@ bool VodServer::rebalance_pending(const std::string& movie) const {
 void VodServer::open_session(const wire::ClientRecord& rec,
                              std::shared_ptr<const mpeg::Movie> movie,
                              bool is_takeover) {
-  auto s = std::make_unique<Session>(*sched_, params_.emergency_decay);
+  // Acquire a slab slot: recycle a freed one (its Session object survives,
+  // so open/close churn allocates nothing once the slab is warm) or grow.
+  std::uint32_t slot;
+  if (!session_free_.empty()) {
+    slot = session_free_.back();
+    session_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(session_slab_.size());
+    session_slab_.push_back(
+        std::make_unique<Session>(*sched_, params_.emergency_decay));
+  }
+  Session* s = session_slab_[slot].get();
+  s->in_use = true;
+  s->eq.reset();
+  s->burst_base = 0;
+  s->next_decay_at = 0;
+  s->finished = false;
+  s->quality.reset();
   s->rec = rec;
   // Resume at the last-heard rate (Â§5.2), but never below the default: a
   // takeover that resumes slower than real time can only drain the client
@@ -365,7 +428,7 @@ void VodServer::open_session(const wire::ClientRecord& rec,
   }
   const std::uint64_t client_id = rec.client_id;
   s->member = daemon_->join(
-      session_group_name(client_id),
+      session_group_name(client_id, movie->name()),
       gcs::GroupCallbacks{
           [this, client_id](const gcs::GcsEndpoint& from,
                             std::span<const std::byte> d) {
@@ -379,25 +442,37 @@ void VodServer::open_session(const wire::ClientRecord& rec,
                           movie->frame_count(), movie->avg_frame_bytes()};
     s->member->send(wire::encode(reply));
   }
-  Session& ref = *s;
-  sessions_[client_id] = std::move(s);
-  session_movie_[client_id] = movie->name();
-  if (!ref.rec.paused) arm_send_timer(ref);
+  session_index_[client_id] = slot;
+  if (auto mit = movies_.find(movie->name()); mit != movies_.end()) {
+    mit->second->local_sessions.push_back(client_id);
+  }
+  if (!s->rec.paused) arm_send_timer(*s);
 }
 
 void VodServer::close_session(std::uint64_t client_id, bool client_gone) {
-  auto it = sessions_.find(client_id);
-  if (it == sessions_.end()) return;
-  it->second->send_timer.cancel();
-  it->second->member.reset();  // leaves the session group
-  const std::string movie = session_movie_[client_id];
-  sessions_.erase(it);
-  session_movie_.erase(client_id);
-  if (client_gone) {
-    if (auto mit = movies_.find(movie); mit != movies_.end()) {
+  const auto it = session_index_.find(client_id);
+  if (it == session_index_.end()) return;
+  const std::uint32_t slot = it->second;
+  Session& s = *session_slab_[slot];
+  s.send_timer.cancel();
+  s.member.reset();  // leaves the session group
+  s.quality.reset();
+  s.in_use = false;
+  const std::string movie = s.movie->name();
+  s.movie.reset();
+  session_index_.erase(it);
+  session_free_.push_back(slot);
+  if (auto mit = movies_.find(movie); mit != movies_.end()) {
+    std::vector<std::uint64_t>& ls = mit->second->local_sessions;
+    if (auto lit = std::find(ls.begin(), ls.end(), client_id);
+        lit != ls.end()) {
+      ls.erase(lit);
+    }
+    if (client_gone) {
       mit->second->records.erase(client_id);
       mit->second->owners.erase(client_id);
     }
+    mit->second->open_deferrals.erase(client_id);
   }
 }
 
@@ -405,10 +480,12 @@ void VodServer::on_session_message(std::uint64_t client_id,
                                    const gcs::GcsEndpoint& from,
                                    std::span<const std::byte> data) {
   if (halted_) return;
-  if (from.node == daemon_->self()) return;  // our own OpenReply
-  auto it = sessions_.find(client_id);
-  if (it == sessions_.end()) return;
-  Session& s = *it->second;
+  Session* sp = find_session(client_id);
+  if (sp == nullptr) return;
+  Session& s = *sp;
+  // Our own OpenReply echoes back on the session channel; filter by the
+  // member's full endpoint so co-tenants of a shared daemon are not dropped.
+  if (s.member && from == s.member->endpoint()) return;
   const auto type = wire::peek_type(data);
   if (!type) {
     ++stats_.malformed_dropped;
@@ -513,8 +590,8 @@ void VodServer::on_session_view(std::uint64_t client_id,
   if (halted_) return;
   // When the only members left are our own endpoints, the client has left:
   // tear the session down.
-  auto it = sessions_.find(client_id);
-  if (it == sessions_.end()) return;
+  const Session* s = find_session(client_id);
+  if (s == nullptr) return;
   const bool client_present =
       std::any_of(v.members.begin(), v.members.end(),
                   [&](const gcs::GcsEndpoint& e) {
@@ -526,7 +603,7 @@ void VodServer::on_session_view(std::uint64_t client_id,
     // overkill here — a client that never joins sends nothing and times out
     // with the whole group when it leaves.
     if (v.members.size() == 1 && v.members[0].node == daemon_->self() &&
-        it->second->rec.next_frame > 0) {
+        s->rec.next_frame > 0) {
       util::log_info(kLog, "client ", client_id, " left; closing session");
       close_session(client_id, /*client_gone=*/true);
     }
@@ -557,9 +634,9 @@ void VodServer::arm_send_timer(Session& s) {
 
 void VodServer::send_tick(std::uint64_t client_id) {
   if (halted_) return;
-  auto it = sessions_.find(client_id);
-  if (it == sessions_.end()) return;
-  Session& s = *it->second;
+  Session* sp = find_session(client_id);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   if (s.rec.paused || s.finished) return;
 
   // Emergency decay is evaluated on the send path (§4.1: once per second).
@@ -603,9 +680,8 @@ void VodServer::send_sync() {
   for (auto& [name, ms] : movies_) {
     wire::StateSync sync;
     sync.movie = name;
-    for (const auto& [client, movie] : session_movie_) {
-      if (movie != name) continue;
-      Session& s = *sessions_.at(client);
+    for (const std::uint64_t client : ms->local_sessions) {
+      Session& s = *find_session(client);
       s.synced_rec = s.rec;  // checkpoint: what the group now knows
       sync.clients.push_back(s.rec);
     }

@@ -12,6 +12,8 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "gcs/daemon.hpp"
 #include "mpeg/catalog.hpp"
@@ -69,10 +71,14 @@ class VodServer {
   void remove_movie(const std::string& name);
 
   [[nodiscard]] net::NodeId node() const { return daemon_->self(); }
-  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
-  [[nodiscard]] bool serves(std::uint64_t client_id) const {
-    return sessions_.contains(client_id);
+  [[nodiscard]] std::size_t session_count() const {
+    return session_index_.size();
   }
+  [[nodiscard]] bool serves(std::uint64_t client_id) const {
+    return session_index_.contains(client_id);
+  }
+  /// Local sessions currently streaming `movie` (monitor / placement use).
+  [[nodiscard]] std::size_t session_count(const std::string& movie) const;
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const net::SocketStats& data_socket_stats() const {
     return data_socket_->stats();
@@ -99,6 +105,10 @@ class VodServer {
   void halt();
 
  private:
+  /// Per-client serving state. Sessions live in a slab (`session_slab_`):
+  /// slots are recycled through a free list so steady-state churn re-uses
+  /// the allocation, and the dense id→slot map keeps every per-frame lookup
+  /// O(1) instead of a red-black-tree walk per sent frame.
   struct Session {
     Session(sim::Scheduler& sched, double decay)
         : eq(decay), send_timer(sched) {}
@@ -118,6 +128,7 @@ class VodServer {
     /// The emergency quantity decays when the send loop passes this time.
     sim::Time next_decay_at = 0;
     bool finished = false;  // reached the end of the movie
+    bool in_use = false;    // slab slot occupancy
   };
 
   struct MovieState {
@@ -136,6 +147,12 @@ class VodServer {
     /// passes a small threshold the higher-id member yields, restoring the
     /// single-server invariant deterministically.
     std::map<std::uint64_t, int> conflict_counts;
+    /// Consecutive OpenRequests deferred to a live peer the owner table
+    /// claims is serving the client. A genuinely served client never asks
+    /// twice (the owner re-sends its reply on the first retry), so a second
+    /// ask proves the claim is stale — divergent fallback rebalances can
+    /// otherwise strand a client with every member deferring to another.
+    std::map<std::uint64_t, int> open_deferrals;
     /// Redistribution round state for the current group view. A round is
     /// identified by the exchange tag (derived from the group view); every
     /// member rebalances when it has delivered the tagged table of every
@@ -146,6 +163,10 @@ class VodServer {
     bool rebalance_pending = false;
     sim::OneShotTimer rebalance_timer;
     RebalanceSnapshot last_rebalance;
+    /// Client ids of the local sessions streaming this movie, in open order.
+    /// Periodic syncs and table exchanges walk this list, so their cost is
+    /// O(sessions of this movie), not O(movies × all sessions).
+    std::vector<std::uint64_t> local_sessions;
   };
 
   // control-plane handlers
@@ -174,6 +195,13 @@ class VodServer {
   void send_sync();
 
   [[nodiscard]] double effective_rate(const Session& s) const;
+  [[nodiscard]] Session* find_session(std::uint64_t client_id);
+  [[nodiscard]] const Session* find_session(std::uint64_t client_id) const;
+  /// Runs f for every live session (any movie).
+  template <typename F>
+  void for_each_session(F&& f) {
+    for (const auto& [id, slot] : session_index_) f(id, *session_slab_[slot]);
+  }
 
   sim::Scheduler* sched_;
   net::Network* net_;
@@ -188,8 +216,13 @@ class VodServer {
   util::Writer frame_writer_;
   std::unique_ptr<gcs::GroupMember> server_group_;
   std::map<std::string, std::unique_ptr<MovieState>> movies_;
-  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
-  std::map<std::uint64_t, std::string> session_movie_;  // client -> movie
+  /// Session slab: slots are stable (Session is non-movable — it owns a
+  /// OneShotTimer), recycled through `session_free_`, and addressed by the
+  /// dense id→slot index. A freed slot keeps its allocation, so open/close
+  /// churn stops allocating once the slab reaches its high-water mark.
+  std::vector<std::unique_ptr<Session>> session_slab_;
+  std::vector<std::uint32_t> session_free_;
+  std::unordered_map<std::uint64_t, std::uint32_t> session_index_;
 
   sim::PeriodicTimer sync_timer_;
   ServerStats stats_;

@@ -37,16 +37,39 @@ class Deployment {
 
   struct ClientNode {
     net::NodeId node;
-    std::unique_ptr<gcs::Daemon> daemon;
+    std::unique_ptr<gcs::Daemon> daemon;  // null when attached to a gateway
     std::unique_ptr<VodClient> client;
+  };
+
+  /// A gateway host runs a GCS daemon that thousands of edge clients attach
+  /// to as lightweight local members (Spread's daemons-on-few-nodes model):
+  /// daemon-level traffic — heartbeats, ordered fan-out — stays O(daemons),
+  /// not O(clients), which is what makes a 10k-client run feasible.
+  struct GatewayNode {
+    net::NodeId node;
+    std::unique_ptr<gcs::Daemon> daemon;
   };
 
   /// Pre-registers a host so the GCS peer list covers servers brought up
   /// later ("on the fly"). Call for all hosts before creating any daemon.
-  net::NodeId add_host(const std::string& name) {
-    const net::NodeId id = net_.add_host(name);
+  /// `cfg` sets the host's NIC provisioning: the default models the paper's
+  /// 100 Mbps switched Ethernet, which tops out around 70 concurrent
+  /// 1.4 Mbps streams — city-scale scenarios must pass datacenter-class
+  /// rates or the video traffic starves the control plane on the same
+  /// uplink and every protocol deadline slips.
+  net::NodeId add_host(const std::string& name, net::HostConfig cfg = {}) {
+    const net::NodeId id = net_.add_host(name, cfg);
     gcs_cfg_.peers.push_back(id);
     return id;
+  }
+
+  /// Registers an edge host that runs *no* daemon (its clients attach to a
+  /// gateway). Edge hosts stay out of the GCS peer list: with 10k of them,
+  /// every daemon heartbeating every edge host each 75 ms would be the
+  /// quadratic blow-up the gateway architecture exists to avoid.
+  net::NodeId add_edge_host(const std::string& name,
+                            net::HostConfig cfg = {}) {
+    return net_.add_host(name, cfg);
   }
 
   ServerNode& start_server(net::NodeId node) {
@@ -71,6 +94,25 @@ class Deployment {
     cn->daemon = std::make_unique<gcs::Daemon>(sched_, net_, node, gcs_cfg_);
     cn->client =
         std::make_unique<VodClient>(sched_, net_, *cn->daemon, params_);
+    clients_.push_back(std::move(cn));
+    return *clients_.back();
+  }
+
+  GatewayNode& start_gateway(net::NodeId node) {
+    auto gn = std::make_unique<GatewayNode>();
+    gn->node = node;
+    gn->daemon = std::make_unique<gcs::Daemon>(sched_, net_, node, gcs_cfg_);
+    gateways_.push_back(std::move(gn));
+    return *gateways_.back();
+  }
+
+  /// Starts a client on edge host `node`, attached to `gateway`'s daemon
+  /// for the control plane; video flows to the edge host directly.
+  ClientNode& start_client(net::NodeId node, GatewayNode& gateway) {
+    auto cn = std::make_unique<ClientNode>();
+    cn->node = node;
+    cn->client = std::make_unique<VodClient>(sched_, net_, *gateway.daemon,
+                                             params_, node);
     clients_.push_back(std::move(cn));
     return *clients_.back();
   }
@@ -119,6 +161,7 @@ class Deployment {
   gcs::GcsConfig& gcs_config() { return gcs_cfg_; }
   std::vector<std::unique_ptr<ServerNode>>& servers() { return servers_; }
   std::vector<std::unique_ptr<ClientNode>>& clients() { return clients_; }
+  std::vector<std::unique_ptr<GatewayNode>>& gateways() { return gateways_; }
 
   void run_for(sim::Duration d) { sched_.run_for(d); }
   void run_until(sim::Time t) { sched_.run_until(t); }
@@ -131,6 +174,7 @@ class Deployment {
   gcs::GcsConfig gcs_cfg_;
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::vector<std::unique_ptr<ClientNode>> clients_;
+  std::vector<std::unique_ptr<GatewayNode>> gateways_;
 };
 
 }  // namespace ftvod::vod

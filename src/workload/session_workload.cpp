@@ -1,0 +1,111 @@
+#include "workload/session_workload.hpp"
+
+#include "util/log.hpp"
+
+namespace ftvod::workload {
+
+namespace {
+constexpr std::string_view kLog = "workload";
+}
+
+SessionWorkload::SessionWorkload(sim::Scheduler& sched,
+                                 const mpeg::GeneratedCatalog& catalog,
+                                 WorkloadConfig cfg)
+    : sched_(&sched),
+      catalog_(&catalog),
+      cfg_(cfg),
+      rng_(cfg.seed ^ 0xc2b2ae3d27d4eb4full),
+      active_by_rank_(catalog.size(), 0) {}
+
+void SessionWorkload::add_client(vod::VodClient* client) {
+  Slot s;
+  s.client = client;
+  slots_.push_back(s);
+  idle_.push_back(slots_.size() - 1);
+}
+
+void SessionWorkload::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next_arrival();
+}
+
+void SessionWorkload::stop() {
+  if (!running_) return;
+  running_ = false;
+  arrival_event_.cancel();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].busy) depart(i);
+  }
+}
+
+void SessionWorkload::flash_crowd(std::size_t rank, double share,
+                                  sim::Time until) {
+  boost_rank_ = rank;
+  boost_share_ = share;
+  boost_until_ = until;
+  util::log_info(kLog, "flash crowd on rank ", rank, " (share ", share,
+                 ") until t=", static_cast<double>(until) / 1e6, "s");
+}
+
+void SessionWorkload::fill_demand(
+    std::map<std::string, std::size_t>& out) const {
+  for (std::size_t rank = 0; rank < active_by_rank_.size(); ++rank) {
+    if (active_by_rank_[rank] > 0) {
+      out[catalog_->entry(rank).movie->name()] = active_by_rank_[rank];
+    }
+  }
+}
+
+void SessionWorkload::schedule_next_arrival() {
+  const double gap_s = rng_.exponential(1.0 / cfg_.arrival_rate_per_s);
+  arrival_event_ = sched_->after(
+      std::max<sim::Duration>(static_cast<sim::Duration>(gap_s * 1e6), 1),
+      [this] { on_arrival(); });
+}
+
+std::size_t SessionWorkload::pick_rank() {
+  if (boost_share_ > 0.0 && sched_->now() < boost_until_ &&
+      rng_.bernoulli(boost_share_)) {
+    return boost_rank_;
+  }
+  return catalog_->sample_rank(rng_.uniform());
+}
+
+void SessionWorkload::on_arrival() {
+  if (!running_) return;
+  schedule_next_arrival();
+  ++stats_.arrivals;
+  arrival_times_.push_back(sched_->now());
+  if (idle_.empty()) {
+    ++stats_.rejected;
+    return;
+  }
+  const std::size_t idx = idle_.back();
+  idle_.pop_back();
+  Slot& s = slots_[idx];
+  s.busy = true;
+  s.rank = pick_rank();
+  ++active_count_;
+  ++active_by_rank_[s.rank];
+  s.client->watch(catalog_->entry(s.rank).movie->name());
+
+  const double hold_s = rng_.exponential(cfg_.mean_hold_s);
+  s.departure = sched_->after(
+      std::max<sim::Duration>(static_cast<sim::Duration>(hold_s * 1e6), 1),
+      [this, idx] { depart(idx); });
+}
+
+void SessionWorkload::depart(std::size_t slot_index) {
+  Slot& s = slots_[slot_index];
+  if (!s.busy) return;
+  s.departure.cancel();
+  s.busy = false;
+  s.client->stop();
+  ++stats_.departures;
+  --active_count_;
+  --active_by_rank_[s.rank];
+  idle_.push_back(slot_index);
+}
+
+}  // namespace ftvod::workload

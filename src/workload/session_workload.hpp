@@ -1,0 +1,106 @@
+// Poisson session churn over a Zipf catalog: the city-scale demand model.
+// Clients arrive as a Poisson process (exponential inter-arrival times),
+// pick a title from the generated catalog's popularity distribution, watch
+// for an exponentially distributed hold time, and leave. A scriptable
+// flash-crowd boost concentrates arrivals on one title for a window — the
+// stimulus the placement controller has to answer with replica adds.
+//
+// The driver owns its own Rng: the workload trajectory is a pure function
+// of (seed, config) regardless of what the network layer draws, so the
+// statistical tests can assert exponential inter-arrivals and bit-identical
+// reruns without pinning the whole simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpeg/catalog_gen.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "vod/client.hpp"
+
+namespace ftvod::workload {
+
+struct WorkloadConfig {
+  /// Poisson arrival rate, sessions per (virtual) second.
+  double arrival_rate_per_s = 10.0;
+  /// Mean of the exponential session hold time, seconds.
+  double mean_hold_s = 120.0;
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  /// Arrivals skipped because every pooled client was busy.
+  std::uint64_t rejected = 0;
+};
+
+class SessionWorkload {
+ public:
+  SessionWorkload(sim::Scheduler& sched, const mpeg::GeneratedCatalog& catalog,
+                  WorkloadConfig cfg);
+
+  /// Hands a client to the pool. Clients are re-used across sessions
+  /// (watch() fully resets them), so the pool size bounds concurrency.
+  void add_client(vod::VodClient* client);
+
+  /// Starts the arrival process.
+  void start();
+  /// Stops new arrivals and cancels scheduled departures; active clients
+  /// are stopped.
+  void stop();
+
+  /// Multiplies one title's selection probability so that it attracts
+  /// roughly `share` of all arrivals until `until` — a flash crowd.
+  void flash_crowd(std::size_t rank, double share, sim::Time until);
+
+  [[nodiscard]] std::size_t active() const { return active_count_; }
+  [[nodiscard]] const WorkloadStats& stats() const { return stats_; }
+  /// Active sessions per title rank (the placement demand signal).
+  [[nodiscard]] const std::vector<std::size_t>& active_by_rank() const {
+    return active_by_rank_;
+  }
+  /// Demand-source adapter for PlacementController::set_demand_source.
+  void fill_demand(std::map<std::string, std::size_t>& out) const;
+  /// Every arrival's virtual time, for the inter-arrival statistics test.
+  [[nodiscard]] const std::vector<sim::Time>& arrival_times() const {
+    return arrival_times_;
+  }
+
+ private:
+  struct Slot {
+    vod::VodClient* client = nullptr;
+    std::size_t rank = 0;
+    bool busy = false;
+    sim::Scheduler::EventHandle departure;
+  };
+
+  void schedule_next_arrival();
+  void on_arrival();
+  void depart(std::size_t slot_index);
+  [[nodiscard]] std::size_t pick_rank();
+
+  sim::Scheduler* sched_;
+  const mpeg::GeneratedCatalog* catalog_;
+  WorkloadConfig cfg_;
+  util::Rng rng_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> idle_;  // indices into slots_, LIFO reuse
+  std::size_t active_count_ = 0;
+  std::vector<std::size_t> active_by_rank_;
+  std::vector<sim::Time> arrival_times_;
+  sim::Scheduler::EventHandle arrival_event_;
+  bool running_ = false;
+
+  std::size_t boost_rank_ = 0;
+  double boost_share_ = 0.0;
+  sim::Time boost_until_ = 0;
+
+  WorkloadStats stats_;
+};
+
+}  // namespace ftvod::workload

@@ -1,0 +1,145 @@
+// Statistical acceptance of the generated city-scale catalog: the
+// popularity weights must actually follow the configured Zipf law (checked
+// exactly on the weights and by chi-squared on sampled draws), the
+// inverse-CDF sampler must be faithful to the weights, and the whole
+// catalog must be bit-reproducible per seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mpeg/catalog_gen.hpp"
+#include "util/rng.hpp"
+
+namespace ftvod::mpeg {
+namespace {
+
+TEST(CatalogGen, WeightsFollowTheConfiguredZipfLaw) {
+  CatalogSpec spec;
+  spec.titles = 200;
+  spec.zipf_exponent = 0.8;
+  const auto cat = GeneratedCatalog::generate(1, spec);
+  ASSERT_EQ(cat.size(), 200u);
+  // weight(k) * (k+1)^s is constant for a Zipf catalog; compare every rank
+  // against rank 0 (double rounding only — the weights are not sampled).
+  const double c0 = cat.entry(0).popularity;
+  double total = 0.0;
+  for (std::size_t k = 0; k < cat.size(); ++k) {
+    const double expect =
+        c0 / std::pow(static_cast<double>(k + 1), spec.zipf_exponent);
+    EXPECT_NEAR(cat.entry(k).popularity, expect, 1e-12) << "rank " << k;
+    total += cat.entry(k).popularity;
+    if (k > 0) {
+      EXPECT_LT(cat.entry(k).popularity, cat.entry(k - 1).popularity + 1e-15);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);  // normalized
+}
+
+TEST(CatalogGen, SampledRanksPassChiSquaredAgainstTheWeights) {
+  // Draw a large sample through the inverse-CDF path and chi-squared it
+  // against the catalog's own popularity vector. Head ranks get individual
+  // bins; the tail is pooled so every expected count stays well above 5.
+  CatalogSpec spec;
+  spec.titles = 200;
+  spec.zipf_exponent = 0.8;
+  const auto cat = GeneratedCatalog::generate(3, spec);
+  constexpr std::size_t kDraws = 200'000;
+  util::Rng rng(987);
+  std::vector<std::uint64_t> counts(cat.size(), 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const std::size_t r = cat.sample_rank(rng.uniform());
+    ASSERT_LT(r, cat.size());
+    ++counts[r];
+  }
+
+  // Bin: ranks 0..19 individually, then pools of 20.
+  std::vector<double> expected;
+  std::vector<double> observed;
+  std::size_t k = 0;
+  while (k < cat.size()) {
+    const std::size_t width = k < 20 ? 1 : 20;
+    double e = 0.0, o = 0.0;
+    for (std::size_t j = k; j < std::min(cat.size(), k + width); ++j) {
+      e += cat.entry(j).popularity * static_cast<double>(kDraws);
+      o += static_cast<double>(counts[j]);
+    }
+    expected.push_back(e);
+    observed.push_back(o);
+    k += width;
+  }
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    ASSERT_GT(expected[b], 20.0) << "bin " << b << " too thin for chi2";
+    const double d = observed[b] - expected[b];
+    chi2 += d * d / expected[b];
+  }
+  // df = bins - 1 = 28. The 99.9th percentile of chi2(28) is ~56.9; the
+  // run is seeded, so this either always passes or flags a real skew.
+  EXPECT_LT(chi2, 56.9) << "sampler does not match the Zipf weights";
+
+  // The head must dominate the way a Zipf catalog does: top-20 ranks carry
+  // the majority of all sessions at s=0.8, n=200.
+  double head = 0.0;
+  for (std::size_t j = 0; j < 20; ++j) head += static_cast<double>(counts[j]);
+  EXPECT_GT(head / kDraws, 0.35);
+  EXPECT_LT(head / kDraws, 0.55);
+}
+
+TEST(CatalogGen, SamplerHitsTheExactBoundaries) {
+  CatalogSpec spec;
+  spec.titles = 50;
+  const auto cat = GeneratedCatalog::generate(9, spec);
+  EXPECT_EQ(cat.sample_rank(0.0), 0u);
+  EXPECT_EQ(cat.sample_rank(std::nextafter(1.0, 0.0)), cat.size() - 1);
+  // Monotone: a larger u never maps to a more popular (smaller) rank.
+  std::size_t prev = 0;
+  for (double u = 0.0; u < 1.0; u += 1e-3) {
+    const std::size_t r = cat.sample_rank(u);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(CatalogGen, BitIdenticalPerSeed) {
+  CatalogSpec spec;
+  spec.titles = 64;
+  const auto a = GeneratedCatalog::generate(77, spec);
+  const auto b = GeneratedCatalog::generate(77, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.entry(k).movie->name(), b.entry(k).movie->name());
+    EXPECT_EQ(a.entry(k).movie->frame_count(), b.entry(k).movie->frame_count());
+    EXPECT_EQ(a.entry(k).popularity, b.entry(k).popularity);  // bit-exact
+  }
+  // A different seed keeps the law (same weights) but redraws durations.
+  const auto c = GeneratedCatalog::generate(78, spec);
+  bool any_duration_differs = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.entry(k).popularity, c.entry(k).popularity);
+    any_duration_differs |=
+        a.entry(k).movie->frame_count() != c.entry(k).movie->frame_count();
+  }
+  EXPECT_TRUE(any_duration_differs);
+}
+
+TEST(CatalogGen, TitlesAreUniqueAndDurationsInRange) {
+  CatalogSpec spec;
+  spec.titles = 200;
+  spec.min_duration_s = 60.0;
+  spec.max_duration_s = 120.0;
+  const auto cat = GeneratedCatalog::generate(5, spec);
+  std::vector<std::string> names;
+  for (const auto& e : cat.entries()) {
+    names.push_back(e.movie->name());
+    const double dur =
+        static_cast<double>(e.movie->frame_count()) / spec.fps;
+    EXPECT_GE(dur, spec.min_duration_s - 1.0);
+    EXPECT_LE(dur, spec.max_duration_s + 1.0);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace ftvod::mpeg

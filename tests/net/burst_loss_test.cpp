@@ -139,6 +139,64 @@ TEST(BurstLoss, BurstsRideOnTopOfTheIidFloor) {
   EXPECT_LT(static_cast<double>(lost) / kPackets, 0.075);
 }
 
+TEST(BurstLoss, RestoredHostStartsInTheGoodState) {
+  // Regression: the Gilbert–Elliott state is per node pair and used to
+  // survive a crash/restore cycle. A channel wedged in the bad state then
+  // greeted the rebooted host — typically a server re-registering its
+  // catalog with the placement controller — with a phantom loss burst on a
+  // link that was idle the whole downtime. restore_host must reset the
+  // channel to the good state.
+  sim::Scheduler sched;
+  util::Rng rng(3);
+  Network net(sched, rng);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+
+  // Phase 1: wedge the channel. Guaranteed good->bad on the first packet,
+  // never back: every datagram from here on dies in the bad state.
+  LinkQuality wedge;
+  wedge.jitter = 0;
+  wedge.loss = 0.0;
+  wedge.p_good_to_bad = 1.0;
+  wedge.p_bad_to_good = 0.0;
+  wedge.loss_bad = 1.0;
+  net.set_quality(a, b, wedge);
+
+  std::size_t got = 0;
+  auto sb = net.bind(b, 9, [&](const Endpoint&, std::span<const std::byte>) {
+    ++got;
+  });
+  auto sa = net.bind(a, 5, nullptr);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    sched.at(static_cast<sim::Time>(i) * sim::msec(1),
+             [&, i] { sa->send({b, 9}, seq_msg(i)); });
+  }
+  sched.run();
+  EXPECT_EQ(got, 0u);  // wedged: everything lost
+
+  // Phase 2: the channel itself becomes healthy (it only ever loses in the
+  // bad state, which nothing can enter any more) — but the *state* is still
+  // bad, so without the reset every packet keeps dying.
+  LinkQuality healthy = wedge;
+  healthy.p_good_to_bad = 1e-300;  // bursty() stays true; never fires
+  net.set_quality(a, b, healthy);
+  sched.at(sched.now() + sim::msec(1), [&] { sa->send({b, 9}, seq_msg(0)); });
+  sched.run();
+  EXPECT_EQ(got, 0u) << "channel left the bad state without a host restore";
+
+  // Phase 3: reboot a. restore_host clears the pair's burst state, so the
+  // revived host's first datagrams sail through in the good state.
+  net.crash_host(a);
+  net.restore_host(a);
+  auto sa2 = net.bind(a, 6, nullptr);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    sched.at(sched.now() + static_cast<sim::Time>(i + 1) * sim::msec(1),
+             [&, i] { sa2->send({b, 9}, seq_msg(i)); });
+  }
+  sched.run();
+  EXPECT_EQ(got, 10u);
+}
+
 TEST(BurstLoss, SameSeedSameBursts) {
   LinkQuality q;
   q.jitter = sim::msec(2);

@@ -183,5 +183,84 @@ TEST(Client, StopThenRewatch) {
   EXPECT_EQ(bed.server(0).session_count(), 1u);
 }
 
+TEST(Client, LateFramesAfterStopDoNotResurrectTheDisplay) {
+  // Regression (caught by the catalog-churn soak): the server keeps
+  // streaming for a round trip after a Stop, and those in-flight frames
+  // used to land in still-live buffers and re-arm the display loop — a
+  // zombie session with no session-group membership that "stalls" forever
+  // once its buffer tail drained. After stop(), the decoder state is gone
+  // and stragglers are discarded at the door.
+  VodTestBed bed(1, 1);
+  bed.watch_all();
+  bed.run_for(8.0);
+  ASSERT_TRUE(bed.client().playing());
+  bed.client().stop();
+  bed.run_for(5.0);
+  EXPECT_FALSE(bed.client().playing());
+  EXPECT_FALSE(bed.client().watching());
+  EXPECT_EQ(bed.client().buffers(), nullptr);
+  EXPECT_EQ(bed.client().counters().received, 0u);  // back to the empty set
+}
+
+TEST(Client, RewatchStartsFromAFullyFreshSession) {
+  // Regression for the pooled-reuse path the workload driver leans on:
+  // watch() after stop() (or even mid-session) must behave like a brand-new
+  // client — no stale pause flag, buffer position, flow state or pending
+  // open retry may leak into the next session. Park the first session in
+  // the nastiest state we can reach, then re-watch a different title.
+  VodTestBed bed(1, 1);
+  auto indie = mpeg::Movie::synthetic("indie", 300.0);
+  bed.server(0).add_movie(indie);
+  bed.run_for(1.0);
+
+  bed.client().watch("feature");
+  bed.run_for(10.0);
+  ASSERT_TRUE(bed.client().playing());
+  bed.client().seek(4000);  // deep into the movie
+  bed.run_for(2.0);
+  bed.client().pause();     // and paused
+  bed.run_for(1.0);
+  const auto old_pos = bed.client().buffers()->last_displayed();
+  EXPECT_GT(old_pos, 3000);
+  bed.client().stop();
+  bed.run_for(1.0);
+  EXPECT_FALSE(bed.client().watching());
+
+  bed.client().watch("indie");
+  EXPECT_TRUE(bed.client().watching());
+  EXPECT_EQ(bed.client().movie(), "indie");
+  bed.run_for(6.0);
+  ASSERT_TRUE(bed.client().connected());
+  EXPECT_TRUE(bed.client().playing());
+  EXPECT_FALSE(bed.client().paused());  // the pause did not leak
+  // Fresh counters and a position near the start of the new title — not
+  // the previous session's seek offset.
+  const auto pos = bed.client().buffers()->last_displayed();
+  EXPECT_GT(pos, 0);
+  EXPECT_LT(pos, 400);
+  EXPECT_EQ(bed.server(0).session_count("indie"), 1u);
+  EXPECT_EQ(bed.server(0).session_count("feature"), 0u);
+}
+
+TEST(Client, WatchWhileWatchingSwitchesTitlesCleanly) {
+  // watch() with a session already live is the same reset path minus the
+  // stop(): the old session group is left, the new one joined.
+  VodTestBed bed(1, 1);
+  auto indie = mpeg::Movie::synthetic("indie", 300.0);
+  bed.server(0).add_movie(indie);
+  bed.run_for(1.0);
+  bed.client().watch("feature");
+  bed.run_for(8.0);
+  ASSERT_TRUE(bed.client().playing());
+
+  bed.client().watch("indie");
+  bed.run_for(8.0);
+  EXPECT_TRUE(bed.client().connected());
+  EXPECT_TRUE(bed.client().playing());
+  EXPECT_EQ(bed.client().movie(), "indie");
+  EXPECT_EQ(bed.server(0).session_count("indie"), 1u);
+  EXPECT_EQ(bed.server(0).session_count("feature"), 0u);
+}
+
 }  // namespace
 }  // namespace ftvod::vod
